@@ -1,0 +1,13 @@
+"""Shared parameters of the benchmark harness.
+
+The figure benchmarks run on a reduced benchmark subset and scale so that
+the whole suite completes in a few minutes; EXPERIMENTS.md records a full
+run made with the ``repro-experiments`` console script.
+"""
+
+#: workload scale used by the figure benchmarks (kept small for CI-friendliness)
+BENCH_SCALE = 0.5
+#: SPEC subset used by the figure benchmarks
+BENCH_SPEC = ("bzip2", "gcc", "mcf")
+#: multithreaded subset used by the LOCKSET benchmarks
+BENCH_MT = ("pbzip2", "water_nq")

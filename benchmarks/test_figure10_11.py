@@ -1,0 +1,52 @@
+"""Regenerate Figure 10 (baseline vs optimised slowdowns) and Figure 11
+(technique-by-technique) on a reduced benchmark subset."""
+
+import pytest
+from benchmarks.bench_params import BENCH_MT, BENCH_SCALE, BENCH_SPEC
+
+from repro.experiments.figure10 import run_figure10
+from repro.experiments.figure11 import run_figure11
+
+SPEC_LIFEGUARDS = ["AddrCheck", "MemCheck", "TaintCheck", "TaintCheckDetailed"]
+
+
+@pytest.mark.parametrize("lifeguard", SPEC_LIFEGUARDS)
+def test_figure10_spec_lifeguard(benchmark, lifeguard):
+    """Figure 10, one lifeguard at a time over the SPEC subset."""
+    result = benchmark.pedantic(
+        run_figure10,
+        kwargs={"lifeguards": [lifeguard], "benchmarks": list(BENCH_SPEC), "scale": BENCH_SCALE},
+        rounds=1, iterations=1,
+    )
+    baseline = result.average(lifeguard, "LBA Baseline")
+    optimized = result.average(lifeguard, "LBA Optimized")
+    assert optimized < baseline
+    benchmark.extra_info["avg_slowdown_baseline"] = round(baseline, 2)
+    benchmark.extra_info["avg_slowdown_optimized"] = round(optimized, 2)
+    benchmark.extra_info["improvement"] = round(result.improvement(lifeguard), 2)
+
+
+def test_figure10_lockset(benchmark):
+    """Figure 10, LOCKSET over the multithreaded subset."""
+    result = benchmark.pedantic(
+        run_figure10,
+        kwargs={"lifeguards": ["LockSet"], "benchmarks": list(BENCH_MT), "scale": BENCH_SCALE},
+        rounds=1, iterations=1,
+    )
+    assert result.average("LockSet", "LBA Optimized") < result.average("LockSet", "LBA Baseline")
+    benchmark.extra_info["avg_slowdown_baseline"] = round(result.average("LockSet", "LBA Baseline"), 2)
+    benchmark.extra_info["avg_slowdown_optimized"] = round(result.average("LockSet", "LBA Optimized"), 2)
+
+
+@pytest.mark.parametrize("lifeguard", ["AddrCheck", "MemCheck", "TaintCheck"])
+def test_figure11_technique_stack(benchmark, lifeguard):
+    """Figure 11: each added technique must not hurt the average slowdown."""
+    result = benchmark.pedantic(
+        run_figure11,
+        kwargs={"lifeguards": [lifeguard], "benchmarks": list(BENCH_SPEC), "scale": BENCH_SCALE},
+        rounds=1, iterations=1,
+    )
+    assert result.monotonic_improvement(lifeguard)
+    benchmark.extra_info["stack"] = {
+        label: round(value, 2) for label, value in result.averages[lifeguard].items()
+    }

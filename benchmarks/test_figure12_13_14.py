@@ -1,0 +1,60 @@
+"""Regenerate Figure 12 (reduction table) and the profiling-study Figures 13/14."""
+
+import pytest
+from benchmarks.bench_params import BENCH_SCALE, BENCH_SPEC
+
+from repro.analysis.profiler import Profiler
+from repro.experiments.figure12 import run_figure12
+from repro.experiments.figure13 import run_figure13
+from repro.experiments.figure14 import run_figure14
+
+
+@pytest.fixture(scope="module")
+def profiler():
+    return Profiler()
+
+
+def test_figure12_reduction_table(benchmark):
+    """Figure 12: LMA / IT / IF reduction ranges for MEMCHECK and ADDRCHECK."""
+    result = benchmark.pedantic(
+        run_figure12,
+        kwargs={"lifeguards": ["AddrCheck", "MemCheck"], "benchmarks": list(BENCH_SPEC),
+                "scale": BENCH_SCALE},
+        rounds=1, iterations=1,
+    )
+    for values in result.lma_instruction_reduction.values():
+        assert all(0 < v < 1 for v in values.values())
+    benchmark.extra_info["rows"] = result.ranges()
+
+
+def test_figure13_it_and_if_sweeps(benchmark, profiler):
+    """Figure 13: IT reduction per benchmark and IF design-space sweep."""
+    result = benchmark.pedantic(
+        run_figure13,
+        kwargs={"benchmarks": list(BENCH_SPEC), "scale": BENCH_SCALE, "profiler": profiler},
+        rounds=1, iterations=1,
+    )
+    assert all(0 < v < 1 for v in result.it_reduction.values())
+    # 4-way behaves like fully associative at 32 entries (paper's observation)
+    assert abs(result.if_combined[4][32] - result.if_combined[0][32]) < 0.08
+    benchmark.extra_info["it_reduction"] = {k: round(v, 3) for k, v in result.it_reduction.items()}
+    benchmark.extra_info["if_combined_32_full"] = round(result.if_combined[0][32], 3)
+    benchmark.extra_info["if_separate_32_full"] = round(result.if_separate[0][32], 3)
+
+
+def test_figure14_mtlb_design_space(benchmark, profiler):
+    """Figure 14: M-TLB miss rates across level-1 bits/entries and flexible sizing."""
+    result = benchmark.pedantic(
+        run_figure14,
+        kwargs={"benchmarks": list(BENCH_SPEC), "scale": BENCH_SCALE,
+                "level1_bits": (20, 16, 12), "entries": (16, 64), "profiler": profiler},
+        rounds=1, iterations=1,
+    )
+    for per_bits in result.design_space.values():
+        # coarser level-1 indexing never increases the miss rate
+        assert per_bits[12]["avg"] <= per_bits[20]["avg"] + 1e-9
+    for data in result.fixed_vs_flexible.values():
+        assert data["flexible"][64] <= data["fixed"][64] + 1e-9
+    benchmark.extra_info["avg_miss_rate_20bits_16entries"] = round(
+        result.design_space[16][20]["avg"], 4
+    )

@@ -1,0 +1,42 @@
+"""Profiling-study models (the PIN-based analysis of Section 7.3).
+
+The paper complements its timing simulations with a profiling study: the
+benchmark binaries are instrumented with PIN, the resulting event streams
+are fed to stand-alone software models of the three mechanisms, and the
+design space (filter sizes, associativities, M-TLB geometries) is explored
+by replaying the same streams with different parameters.  This subpackage
+is the exact analogue: :class:`repro.analysis.profiler.Profiler` extracts the
+dynamic event stream of a workload once, and the IT / IF / M-TLB models
+replay it under different configurations.
+"""
+
+from repro.analysis.profiler import Profiler, TraceSummary
+from repro.analysis.it_model import ITReductionResult, it_reduction
+from repro.analysis.if_model import IFReductionResult, if_reduction
+from repro.analysis.mtlb_model import (
+    MTLBMissResult,
+    choose_flexible_level1_bits,
+    mtlb_miss_rate,
+)
+from repro.analysis.sweeps import (
+    sweep_if_design_space,
+    sweep_it_reduction,
+    sweep_mtlb_design_space,
+    sweep_mtlb_flexible_vs_fixed,
+)
+
+__all__ = [
+    "Profiler",
+    "TraceSummary",
+    "ITReductionResult",
+    "it_reduction",
+    "IFReductionResult",
+    "if_reduction",
+    "MTLBMissResult",
+    "choose_flexible_level1_bits",
+    "mtlb_miss_rate",
+    "sweep_if_design_space",
+    "sweep_it_reduction",
+    "sweep_mtlb_design_space",
+    "sweep_mtlb_flexible_vs_fixed",
+]

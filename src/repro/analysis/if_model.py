@@ -1,0 +1,111 @@
+"""Stand-alone Idempotent Filter model (Figure 13(b) and (c)).
+
+Replays the memory-access checking events of a trace through an
+:class:`repro.core.idempotent_filter.IdempotentFilter` of a given size and
+associativity and reports the fraction of checks it removes.  Two
+categorisation policies are modelled, matching the paper's two plots:
+
+* ``combined``  -- loads and stores share one check categorisation
+  (ADDRCHECK / MEMCHECK accessibility checking);
+* ``separate``  -- loads and stores use different categorisations and the
+  filter key includes the accessing thread (LOCKSET data-race checking).
+
+Rare events (``malloc``/``free``/system calls, and for the separate policy
+also ``lock``/``unlock``) invalidate the whole filter, as configured by
+those lifeguards' ETCT entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Union
+
+from repro.core.config import IFConfig
+from repro.core.events import AnnotationRecord, EventType, InstructionRecord
+from repro.core.idempotent_filter import IdempotentFilter
+
+Record = Union[InstructionRecord, AnnotationRecord]
+
+#: annotation events that always invalidate the filter (metadata rewrites)
+_ALWAYS_INVALIDATE = {
+    EventType.MALLOC,
+    EventType.FREE,
+    EventType.REALLOC,
+    EventType.SYSCALL_READ,
+    EventType.SYSCALL_RECV,
+    EventType.SYSCALL_WRITE,
+    EventType.SYSCALL_OTHER,
+}
+#: additional invalidation events for the separate (LOCKSET) policy
+_LOCK_INVALIDATE = {EventType.LOCK, EventType.UNLOCK, EventType.THREAD_CREATE, EventType.THREAD_EXIT}
+
+
+@dataclass(frozen=True)
+class IFReductionResult:
+    """Outcome of replaying one trace through the IF model."""
+
+    workload: str
+    policy: str
+    num_entries: int
+    associativity: int
+    check_events: int
+    filtered: int
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of checking events removed by the filter."""
+        if not self.check_events:
+            return 0.0
+        return self.filtered / self.check_events
+
+
+def if_reduction(
+    workload: str,
+    records: List[Record],
+    num_entries: int = 32,
+    associativity: int = 0,
+    policy: str = "combined",
+) -> IFReductionResult:
+    """Measure the filter's check-event reduction over ``records``.
+
+    Args:
+        policy: ``"combined"`` (loads and stores share a categorisation) or
+            ``"separate"`` (distinct categorisations plus thread id in the key).
+    """
+    if policy not in ("combined", "separate"):
+        raise ValueError(f"unknown IF policy {policy!r}")
+    filter_cache = IdempotentFilter(IFConfig(num_entries=num_entries, associativity=associativity))
+    invalidators = (
+        _ALWAYS_INVALIDATE | _LOCK_INVALIDATE if policy == "separate" else _ALWAYS_INVALIDATE
+    )
+    check_events = 0
+    filtered = 0
+    for record in records:
+        if isinstance(record, AnnotationRecord):
+            if record.event_type in invalidators:
+                filter_cache.invalidate_all()
+            continue
+        for address, size, is_store in _accesses(record):
+            check_events += 1
+            if policy == "combined":
+                key = (1, address, size)
+            else:
+                cc = 3 if is_store else 2
+                key = (cc, address, size, record.thread_id)
+            if filter_cache.lookup_insert(key):
+                filtered += 1
+    return IFReductionResult(
+        workload=workload,
+        policy=policy,
+        num_entries=num_entries,
+        associativity=associativity,
+        check_events=check_events,
+        filtered=filtered,
+    )
+
+
+def _accesses(record: InstructionRecord):
+    if record.is_load and record.src_addr is not None:
+        yield record.src_addr, max(record.size, 1), False
+    if record.is_store and record.dest_addr is not None:
+        yield record.dest_addr, max(record.size, 1), True

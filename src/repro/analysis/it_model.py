@@ -1,0 +1,64 @@
+"""Stand-alone Inheritance Tracking reduction model (Figure 13(a)).
+
+Replays a workload's propagation events through the
+:class:`repro.core.inheritance_tracking.InheritanceTracker` and reports the
+fraction of update events it removes, i.e. the events a propagation-tracking
+lifeguard (TAINTCHECK / MEMCHECK) no longer has to handle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Union
+
+from repro.core.config import ITConfig
+from repro.core.events import AnnotationRecord, InstructionRecord
+from repro.core.inheritance_tracking import InheritanceTracker
+
+Record = Union[InstructionRecord, AnnotationRecord]
+
+#: Propagation event types that a baseline propagation lifeguard handles
+#: (``reg_self``/``mem_self`` are never delivered even without IT -- see
+#: Figure 4, where the two "self" operations produce no event).
+_SELF_EVENTS = {"reg_self", "mem_self"}
+
+
+@dataclass(frozen=True)
+class ITReductionResult:
+    """Outcome of replaying one trace through the IT model."""
+
+    workload: str
+    update_events: int
+    delivered_without_it: int
+    delivered_with_it: int
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of baseline-delivered update events removed by IT."""
+        if not self.delivered_without_it:
+            return 0.0
+        return 1.0 - self.delivered_with_it / self.delivered_without_it
+
+
+def it_reduction(workload: str, records: List[Record],
+                 num_registers: int = 8) -> ITReductionResult:
+    """Measure IT's update-event reduction over ``records``."""
+    tracker = InheritanceTracker(ITConfig(num_registers=num_registers))
+    update_events = 0
+    delivered_without = 0
+    delivered_with = 0
+    for record in records:
+        if not isinstance(record, InstructionRecord):
+            continue
+        if not record.event_type.is_propagation:
+            continue
+        update_events += 1
+        if record.event_type.value not in _SELF_EVENTS:
+            delivered_without += 1
+        delivered_with += len(tracker.process(record))
+    return ITReductionResult(
+        workload=workload,
+        update_events=update_events,
+        delivered_without_it=delivered_without,
+        delivered_with_it=delivered_with,
+    )

@@ -1,0 +1,136 @@
+"""Design-space sweep drivers for the profiling study (Section 7.3)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.if_model import IFReductionResult, if_reduction
+from repro.analysis.it_model import ITReductionResult, it_reduction
+from repro.analysis.mtlb_model import (
+    MTLBMissResult,
+    choose_flexible_level1_bits,
+    mtlb_miss_rate,
+)
+from repro.analysis.profiler import Profiler
+from repro.workloads.base import workload_names
+
+#: Filter-entry counts swept in Figure 13(b)/(c).
+IF_ENTRY_SWEEP = (8, 16, 32, 64, 128, 256)
+#: Associativities swept in Figure 13(b)/(c); 0 denotes fully associative.
+IF_ASSOCIATIVITY_SWEEP = (1, 2, 4, 8, 16, 0)
+#: Level-1 bit counts swept in Figure 14(a).
+MTLB_LEVEL1_SWEEP = tuple(range(20, 7, -1))
+#: M-TLB entry counts swept in Figure 14.
+MTLB_ENTRY_SWEEP = (16, 32, 64, 128, 256)
+
+
+def _benchmarks(benchmarks: Optional[Sequence[str]]) -> List[str]:
+    return list(benchmarks) if benchmarks else workload_names(multithreaded=False)
+
+
+def sweep_it_reduction(
+    profiler: Profiler,
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: float = 1.0,
+) -> List[ITReductionResult]:
+    """Figure 13(a): IT update-event reduction per benchmark."""
+    return [
+        it_reduction(name, profiler.trace(name, scale))
+        for name in _benchmarks(benchmarks)
+    ]
+
+
+def sweep_if_design_space(
+    profiler: Profiler,
+    policy: str = "combined",
+    benchmarks: Optional[Sequence[str]] = None,
+    entries: Iterable[int] = IF_ENTRY_SWEEP,
+    associativities: Iterable[int] = IF_ASSOCIATIVITY_SWEEP,
+    scale: float = 1.0,
+) -> Dict[int, Dict[int, float]]:
+    """Figure 13(b)/(c): average IF reduction vs entries and associativity.
+
+    Returns ``{associativity: {entries: average reduction}}`` with
+    associativity ``0`` meaning fully associative, averaged over benchmarks.
+    """
+    names = _benchmarks(benchmarks)
+    results: Dict[int, Dict[int, float]] = {}
+    for associativity in associativities:
+        per_entries: Dict[int, float] = {}
+        for num_entries in entries:
+            ways = num_entries if associativity == 0 else associativity
+            if ways > num_entries or num_entries % ways:
+                continue
+            reductions = [
+                if_reduction(
+                    name, profiler.trace(name, scale),
+                    num_entries=num_entries, associativity=associativity, policy=policy,
+                ).reduction
+                for name in names
+            ]
+            per_entries[num_entries] = sum(reductions) / len(reductions)
+        results[associativity] = per_entries
+    return results
+
+
+def sweep_mtlb_design_space(
+    profiler: Profiler,
+    benchmarks: Optional[Sequence[str]] = None,
+    level1_bits: Iterable[int] = MTLB_LEVEL1_SWEEP,
+    entries: Iterable[int] = MTLB_ENTRY_SWEEP,
+    scale: float = 1.0,
+) -> Dict[int, Dict[int, Dict[str, float]]]:
+    """Figure 14(a): M-TLB miss rate vs level-1 bits and entry count.
+
+    Returns ``{entries: {level1_bits: {"max": ..., "avg": ...}}}`` over the
+    benchmarks (the paper plots the maximum and the average).
+    """
+    names = _benchmarks(benchmarks)
+    results: Dict[int, Dict[int, Dict[str, float]]] = {}
+    for num_entries in entries:
+        per_bits: Dict[int, Dict[str, float]] = {}
+        for bits in level1_bits:
+            rates = [
+                mtlb_miss_rate(
+                    name, profiler.trace(name, scale),
+                    level1_bits=bits, num_entries=num_entries,
+                ).miss_rate
+                for name in names
+            ]
+            per_bits[bits] = {"max": max(rates), "avg": sum(rates) / len(rates)}
+        results[num_entries] = per_bits
+    return results
+
+
+def sweep_mtlb_flexible_vs_fixed(
+    profiler: Profiler,
+    benchmarks: Optional[Sequence[str]] = None,
+    fixed_bits: int = 20,
+    entries: Iterable[int] = (16, 64, 256),
+    scale: float = 1.0,
+) -> Dict[str, Dict[str, object]]:
+    """Figure 14(b): fixed 20-bit level-1 vs per-benchmark flexible level-1 bits.
+
+    Returns ``{benchmark: {"flexible_bits": int, "fixed": {entries: rate},
+    "flexible": {entries: rate}}}``.
+    """
+    names = _benchmarks(benchmarks)
+    results: Dict[str, Dict[str, object]] = {}
+    for name in names:
+        records = profiler.trace(name, scale)
+        flexible_bits = choose_flexible_level1_bits(records)
+        fixed_rates = {}
+        flexible_rates = {}
+        for num_entries in entries:
+            fixed_rates[num_entries] = mtlb_miss_rate(
+                name, records, level1_bits=fixed_bits, num_entries=num_entries
+            ).miss_rate
+            flexible_rates[num_entries] = mtlb_miss_rate(
+                name, records, level1_bits=flexible_bits, num_entries=num_entries
+            ).miss_rate
+        results[name] = {
+            "flexible_bits": flexible_bits,
+            "fixed": fixed_rates,
+            "flexible": flexible_rates,
+        }
+    return results

@@ -1,0 +1,6 @@
+"""Cache hierarchy timing substrate (Table 2 of the paper)."""
+
+from repro.cache.cache import Cache, CacheStats
+from repro.cache.hierarchy import AccessType, CoreCaches, MemoryHierarchy
+
+__all__ = ["Cache", "CacheStats", "AccessType", "CoreCaches", "MemoryHierarchy"]

@@ -1,0 +1,98 @@
+"""A set-associative cache model with LRU replacement.
+
+The model is functional-with-latency: it tracks which lines are resident
+(tags + LRU order per set) and reports hit/miss so the hierarchy can charge
+latencies, but does not store data (the functional state of the program
+lives in :class:`repro.memory.address_space.AddressSpace`).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.config import CacheConfig
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss rate in ``[0, 1]`` (0 when the cache was never accessed)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """A single level of set-associative, write-back, write-allocate cache."""
+
+    def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+        self.config = config
+        self.name = name
+        self.stats = CacheStats()
+        # per-set ordered dict: tag -> dirty flag; ordering is LRU (oldest first)
+        self._sets: Dict[int, OrderedDict[int, bool]] = {}
+
+    def _index_and_tag(self, address: int) -> Tuple[int, int]:
+        line = address // self.config.line_bytes
+        return line % self.config.num_sets, line // self.config.num_sets
+
+    def access(self, address: int, is_write: bool = False) -> bool:
+        """Access the line containing ``address``; returns True on a hit.
+
+        On a miss the line is allocated, possibly evicting the LRU line of
+        the set (a dirty eviction increments ``writebacks``).
+        """
+        self.stats.accesses += 1
+        index, tag = self._index_and_tag(address)
+        lines = self._sets.setdefault(index, OrderedDict())
+        if tag in lines:
+            self.stats.hits += 1
+            dirty = lines.pop(tag)
+            lines[tag] = dirty or is_write
+            return True
+        self.stats.misses += 1
+        if len(lines) >= self.config.associativity:
+            _evicted_tag, dirty = lines.popitem(last=False)
+            self.stats.evictions += 1
+            if dirty:
+                self.stats.writebacks += 1
+        lines[tag] = is_write
+        return False
+
+    def access_range(self, address: int, size: int, is_write: bool = False) -> int:
+        """Access every line touched by ``[address, address + size)``.
+
+        Returns the number of line misses.
+        """
+        if size <= 0:
+            size = 1
+        line_bytes = self.config.line_bytes
+        first = address // line_bytes
+        last = (address + size - 1) // line_bytes
+        misses = 0
+        for line in range(first, last + 1):
+            if not self.access(line * line_bytes, is_write=is_write):
+                misses += 1
+        return misses
+
+    def contains(self, address: int) -> bool:
+        """True if the line containing ``address`` is resident (no side effects)."""
+        index, tag = self._index_and_tag(address)
+        return tag in self._sets.get(index, ())
+
+    def invalidate_all(self) -> None:
+        """Drop every resident line (used when reconfiguring between runs)."""
+        self._sets.clear()
+
+    def resident_lines(self) -> int:
+        """Number of lines currently resident."""
+        return sum(len(lines) for lines in self._sets.values())

@@ -1,0 +1,76 @@
+"""Two-level cache hierarchy shared by the application and lifeguard cores.
+
+Table 2 of the paper: private 16 KB 2-way L1 instruction and data caches per
+core, a shared 512 KB 8-way L2 with 10-cycle latency, and 200-cycle main
+memory.  The hierarchy returns access latencies in cycles; the LBA timing
+model adds them to the per-core cycle counts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.cache.cache import Cache
+from repro.core.config import MemoryHierarchyConfig
+
+
+class AccessType(enum.Enum):
+    """Kind of memory access issued by a core."""
+
+    INSTRUCTION_FETCH = "ifetch"
+    DATA_READ = "read"
+    DATA_WRITE = "write"
+
+
+@dataclass
+class CoreCaches:
+    """The private L1 caches of one core."""
+
+    l1i: Cache
+    l1d: Cache
+
+
+class MemoryHierarchy:
+    """Private L1s per core plus a shared L2 and main memory."""
+
+    def __init__(self, config: MemoryHierarchyConfig | None = None, num_cores: int = 2) -> None:
+        self.config = config or MemoryHierarchyConfig()
+        self.num_cores = num_cores
+        self._cores: Dict[int, CoreCaches] = {
+            core: CoreCaches(
+                l1i=Cache(self.config.l1i, name=f"core{core}.l1i"),
+                l1d=Cache(self.config.l1d, name=f"core{core}.l1d"),
+            )
+            for core in range(num_cores)
+        }
+        self.l2 = Cache(self.config.l2, name="shared.l2")
+        self.memory_accesses = 0
+
+    def core(self, core_id: int) -> CoreCaches:
+        """The private caches of ``core_id``."""
+        return self._cores[core_id]
+
+    def access(self, core_id: int, address: int, access_type: AccessType, size: int = 4) -> int:
+        """Perform an access and return its latency in cycles."""
+        caches = self._cores[core_id]
+        is_write = access_type is AccessType.DATA_WRITE
+        l1 = caches.l1i if access_type is AccessType.INSTRUCTION_FETCH else caches.l1d
+        latency = l1.config.latency_cycles
+        l1_misses = l1.access_range(address, size, is_write=is_write)
+        if not l1_misses:
+            return latency
+        latency += self.config.l2.latency_cycles
+        l2_hit = self.l2.access(address, is_write=is_write)
+        if l2_hit:
+            return latency
+        self.memory_accesses += 1
+        return latency + self.config.memory_latency_cycles
+
+    def total_l1_miss_rate(self, core_id: int) -> float:
+        """Combined L1 data+instruction miss rate of ``core_id``."""
+        caches = self._cores[core_id]
+        accesses = caches.l1i.stats.accesses + caches.l1d.stats.accesses
+        misses = caches.l1i.stats.misses + caches.l1d.stats.misses
+        return misses / accesses if accesses else 0.0

@@ -1,0 +1,309 @@
+"""The composed acceleration pipeline used by the LBA consumer core.
+
+For every log record popped from the log buffer the pipeline (Figure 1,
+right-hand side):
+
+1. classifies the record into its original events (one propagation event
+   plus zero or more checking events for instruction records; one rare event
+   for annotation records);
+2. routes propagation events through **Inheritance Tracking** when the
+   lifeguard registered propagation handlers and IT is enabled -- most are
+   consumed by the IT table, the rest are delivered (possibly transformed);
+3. routes checking events through the **Idempotent Filter** when the
+   lifeguard marked the event type cacheable -- hits are discarded;
+4. applies the ETCT invalidation policy of rare events to the filter and
+   flushes conflicting IT entries before delivering them.
+
+The **Metadata-TLB** is owned by the accelerator as well, but it is exercised
+from inside lifeguard handlers (via :class:`repro.lifeguards.base.MetadataMapper`)
+because only the lifeguard knows which addresses it needs to translate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.core.config import IFConfig, ITConfig, MTLBConfig, SystemConfig
+from repro.core.etct import ETCT, ETCTEntry, InvalidationPolicy
+from repro.core.events import (
+    AnnotationRecord,
+    DeliveredEvent,
+    EventType,
+    InstructionRecord,
+)
+from repro.core.idempotent_filter import IdempotentFilter
+from repro.core.inheritance_tracking import InheritanceTracker
+from repro.core.mtlb import MetadataTLB
+
+Record = Union[InstructionRecord, AnnotationRecord]
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """Which acceleration techniques are active and with what parameters."""
+
+    it: ITConfig = field(default_factory=ITConfig)
+    idempotent_filter: IFConfig = field(default_factory=IFConfig)
+    mtlb: MTLBConfig = field(default_factory=MTLBConfig)
+
+    @classmethod
+    def from_system(cls, system: SystemConfig) -> "AcceleratorConfig":
+        """Build an accelerator configuration from a full system configuration."""
+        return cls(it=system.it, idempotent_filter=system.idempotent_filter, mtlb=system.mtlb)
+
+    @classmethod
+    def baseline(cls) -> "AcceleratorConfig":
+        """All three techniques disabled (the LBA baseline)."""
+        return cls(
+            it=ITConfig(enabled=False),
+            idempotent_filter=IFConfig(enabled=False),
+            mtlb=MTLBConfig(enabled=False),
+        )
+
+
+@dataclass
+class AcceleratorStats:
+    """Counters of what the pipeline did with the record stream."""
+
+    records_processed: int = 0
+    instruction_records: int = 0
+    annotation_records: int = 0
+    propagation_events_in: int = 0
+    propagation_events_delivered: int = 0
+    check_events_in: int = 0
+    check_events_filtered: int = 0
+    check_events_delivered: int = 0
+    rare_events_delivered: int = 0
+
+    @property
+    def events_delivered(self) -> int:
+        """Total events handed to lifeguard handlers."""
+        return (
+            self.propagation_events_delivered
+            + self.check_events_delivered
+            + self.rare_events_delivered
+        )
+
+    @property
+    def update_event_reduction(self) -> float:
+        """Fraction of propagation (update) events not delivered."""
+        if not self.propagation_events_in:
+            return 0.0
+        return 1.0 - self.propagation_events_delivered / self.propagation_events_in
+
+    @property
+    def check_event_reduction(self) -> float:
+        """Fraction of checking events not delivered."""
+        if not self.check_events_in:
+            return 0.0
+        return 1.0 - self.check_events_delivered / self.check_events_in
+
+
+class EventAccelerator:
+    """IT + IF + M-TLB composed into the LBA event dispatch pipeline."""
+
+    def __init__(self, etct: ETCT, config: Optional[AcceleratorConfig] = None) -> None:
+        self.etct = etct
+        self.config = config or AcceleratorConfig()
+        self.it = InheritanceTracker(self.config.it) if self.config.it.enabled else None
+        self.idempotent_filter = (
+            IdempotentFilter(self.config.idempotent_filter)
+            if self.config.idempotent_filter.enabled
+            else None
+        )
+        self.mtlb = MetadataTLB(self.config.mtlb) if self.config.mtlb.enabled else None
+        self.stats = AcceleratorStats()
+        self._uses_propagation = any(
+            event_type.is_propagation for event_type in etct.registered_types()
+        )
+
+    # ------------------------------------------------------------------ main entry
+
+    def process(self, record: Record) -> List[DeliveredEvent]:
+        """Run one log record through the pipeline.
+
+        Returns the events to deliver to the lifeguard, in order.
+        """
+        self.stats.records_processed += 1
+        if isinstance(record, AnnotationRecord):
+            return self._process_annotation(record)
+        if isinstance(record, InstructionRecord):
+            return self._process_instruction(record)
+        raise TypeError(f"unsupported record type {type(record)!r}")
+
+    # ------------------------------------------------------------------ instructions
+
+    def _process_instruction(self, record: InstructionRecord) -> List[DeliveredEvent]:
+        self.stats.instruction_records += 1
+        delivered: List[DeliveredEvent] = []
+        delivered.extend(self._propagation_events(record))
+        delivered.extend(self._check_events(record))
+        return delivered
+
+    def _propagation_events(self, record: InstructionRecord) -> List[DeliveredEvent]:
+        if not self._uses_propagation or not record.event_type.is_propagation:
+            return []
+        self.stats.propagation_events_in += 1
+        if self.it is not None:
+            candidates = self.it.process(record)
+        else:
+            candidates = [DeliveredEvent.from_instruction(record)]
+        delivered = [
+            event for event in candidates if self.etct.is_registered(event.event_type)
+        ]
+        self.stats.propagation_events_delivered += len(delivered)
+        return delivered
+
+    def _check_events(self, record: InstructionRecord) -> List[DeliveredEvent]:
+        delivered: List[DeliveredEvent] = []
+        for event in self._classify_checks(record):
+            entry = self.etct.lookup(event.event_type)
+            if entry is None or entry.handler is None:
+                continue
+            delivered.extend(self._flush_registers_for_check(record, event))
+            self.stats.check_events_in += 1
+            if (
+                self.idempotent_filter is not None
+                and entry.cacheable
+                and self.idempotent_filter.lookup_insert(self.etct.filter_key(entry, event))
+            ):
+                self.stats.check_events_filtered += 1
+                continue
+            self.stats.check_events_delivered += 1
+            delivered.append(event)
+        return delivered
+
+    def _flush_registers_for_check(
+        self, record: InstructionRecord, event: DeliveredEvent
+    ) -> List[DeliveredEvent]:
+        """Flush IT registers a checking event will consult.
+
+        Checking events such as address-computation, conditional-test and
+        indirect-jump checks read *register* metadata.  When Inheritance
+        Tracking holds a register in the ``addr`` state, the lifeguard's
+        software copy of that register's metadata is stale, so the hardware
+        first delivers the ``mem_to_reg`` flush (moving the register to the
+        ``in lifeguard`` state) and only then the checking event.
+        """
+        if self.it is None or event.event_type is EventType.MEM_LOAD or (
+            event.event_type is EventType.MEM_STORE
+        ):
+            return []
+        flushed: List[DeliveredEvent] = []
+        from repro.core.inheritance_tracking import ITState
+
+        for reg in (event.src_reg, event.base_reg, event.index_reg):
+            if reg is None or reg >= self.config.it.num_registers:
+                continue
+            if self.it.state_of(reg) is ITState.ADDR:
+                flush_event = self.it._flush_register(reg, record)
+                if self.etct.is_registered(flush_event.event_type):
+                    flushed.append(flush_event)
+                    self.stats.propagation_events_delivered += 1
+        return flushed
+
+    def _classify_checks(self, record: InstructionRecord) -> List[DeliveredEvent]:
+        events: List[DeliveredEvent] = []
+        if record.is_load and record.src_addr is not None:
+            events.append(
+                DeliveredEvent(
+                    event_type=EventType.MEM_LOAD,
+                    pc=record.pc,
+                    src_addr=record.src_addr,
+                    dest_addr=record.src_addr,
+                    size=record.size,
+                    thread_id=record.thread_id,
+                    base_reg=record.base_reg,
+                    index_reg=record.index_reg,
+                    origin=record,
+                )
+            )
+        if record.is_store and record.dest_addr is not None:
+            events.append(
+                DeliveredEvent(
+                    event_type=EventType.MEM_STORE,
+                    pc=record.pc,
+                    dest_addr=record.dest_addr,
+                    size=record.size,
+                    thread_id=record.thread_id,
+                    base_reg=record.base_reg,
+                    index_reg=record.index_reg,
+                    origin=record,
+                )
+            )
+        if (record.is_load or record.is_store) and (
+            record.base_reg is not None or record.index_reg is not None
+        ):
+            events.append(
+                DeliveredEvent(
+                    event_type=EventType.ADDR_COMPUTE,
+                    pc=record.pc,
+                    base_reg=record.base_reg,
+                    index_reg=record.index_reg,
+                    dest_addr=record.dest_addr if record.dest_addr is not None else record.src_addr,
+                    size=record.size,
+                    thread_id=record.thread_id,
+                    origin=record,
+                )
+            )
+        if record.is_cond_test:
+            events.append(
+                DeliveredEvent(
+                    event_type=EventType.COND_TEST,
+                    pc=record.pc,
+                    src_reg=record.src_reg,
+                    src_addr=record.src_addr,
+                    dest_addr=record.src_addr,
+                    size=record.size,
+                    thread_id=record.thread_id,
+                    origin=record,
+                )
+            )
+        if record.is_indirect_jump:
+            events.append(
+                DeliveredEvent(
+                    event_type=EventType.INDIRECT_JUMP,
+                    pc=record.pc,
+                    src_reg=record.src_reg,
+                    src_addr=record.src_addr,
+                    dest_addr=record.src_addr,
+                    size=record.size or 4,
+                    thread_id=record.thread_id,
+                    origin=record,
+                )
+            )
+        return events
+
+    # ------------------------------------------------------------------ annotations
+
+    def _process_annotation(self, record: AnnotationRecord) -> List[DeliveredEvent]:
+        self.stats.annotation_records += 1
+        entry = self.etct.lookup(record.event_type)
+        delivered: List[DeliveredEvent] = []
+        event = DeliveredEvent.from_annotation(record)
+        # Rare events that will rewrite metadata over a range must first flush
+        # any IT register inheriting from that range, so the lifeguard sees
+        # consistent metadata.
+        if self.it is not None and record.address is not None and record.size:
+            synthetic = InstructionRecord(
+                pc=record.pc,
+                event_type=EventType.IMM_TO_MEM,
+                dest_addr=record.address,
+                size=record.size,
+                is_store=True,
+                thread_id=record.thread_id,
+            )
+            for flush_event in self.it._conflict_events(synthetic, record.address, record.size):
+                if self.etct.is_registered(flush_event.event_type):
+                    delivered.append(flush_event)
+                    self.stats.propagation_events_delivered += 1
+        if self.idempotent_filter is not None and entry is not None:
+            if entry.invalidation & InvalidationPolicy.FLUSH_ALL:
+                self.idempotent_filter.invalidate_all()
+            elif entry.invalidation & InvalidationPolicy.MATCHING:
+                self.idempotent_filter.invalidate_matching(self.etct.filter_key(entry, event))
+        if entry is not None and entry.handler is not None:
+            delivered.append(event)
+            self.stats.rare_events_delivered += 1
+        return delivered

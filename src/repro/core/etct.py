@@ -1,0 +1,144 @@
+"""Event Type Configuration Table (ETCT).
+
+In LBA a lifeguard is organised as a set of event handlers registered in the
+ETCT; the ``nlba`` instruction looks up the handler for the next log record's
+event type (Section 3).  Section 5 extends each ETCT entry with the fields
+that control the Idempotent Filter: a *cacheable* bit marking checking-only
+events, a *check categorisation* (CC) value that lets different event types
+share filter entries when they perform the same check, a per-record-field
+cacheable mask selecting which fields form the filter key, and two
+invalidation bits (invalidate the whole filter / invalidate matching
+entries).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+from repro.core.events import DeliveredEvent, EventType
+
+#: Signature of a lifeguard event handler.
+EventHandler = Callable[[DeliveredEvent], None]
+
+#: Record fields that may participate in an Idempotent Filter key.
+FILTERABLE_FIELDS = ("address", "size", "thread_id")
+
+
+class InvalidationPolicy(enum.Flag):
+    """How an event of a given type invalidates the Idempotent Filter."""
+
+    NONE = 0
+    #: invalidate the entire IF cache (e.g. malloc/free/system calls)
+    FLUSH_ALL = enum.auto()
+    #: invalidate entries whose CC value and selected fields match this event
+    MATCHING = enum.auto()
+
+
+@dataclass
+class ETCTEntry:
+    """Configuration of one event type.
+
+    Attributes:
+        event_type: the event type this entry describes.
+        handler: the lifeguard handler invoked when the event is delivered.
+        handler_instructions: model of how many lifeguard instructions the
+            handler's frequent path executes, *excluding* metadata-mapping
+            instructions (those are added by the timing model depending on
+            whether LMA is available).
+        metadata_translations: how many application→metadata translations the
+            handler performs.
+        metadata_accesses: how many metadata memory accesses the handler
+            performs (used by the lifeguard-core cache model).
+        cacheable: True if the event is checking-only and may be filtered.
+        check_category: CC value; events sharing a CC perform the same check.
+        cacheable_fields: record fields forming the IF key.
+        invalidation: how events of this type invalidate the filter.
+    """
+
+    event_type: EventType
+    handler: Optional[EventHandler] = None
+    handler_instructions: int = 0
+    metadata_translations: int = 0
+    metadata_accesses: int = 0
+    cacheable: bool = False
+    check_category: int = 0
+    cacheable_fields: Tuple[str, ...] = ("address", "size")
+    invalidation: InvalidationPolicy = InvalidationPolicy.NONE
+
+    def __post_init__(self) -> None:
+        unknown = set(self.cacheable_fields) - set(FILTERABLE_FIELDS)
+        if unknown:
+            raise ValueError(f"unknown cacheable fields: {sorted(unknown)}")
+
+
+class ETCT:
+    """The event type configuration table of one lifeguard."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[EventType, ETCTEntry] = {}
+
+    def register(self, entry: ETCTEntry) -> None:
+        """Register (or replace) the entry for ``entry.event_type``."""
+        self._entries[entry.event_type] = entry
+
+    def register_handler(
+        self,
+        event_type: EventType,
+        handler: EventHandler,
+        *,
+        handler_instructions: int = 4,
+        metadata_translations: int = 0,
+        metadata_accesses: int = 0,
+        cacheable: bool = False,
+        check_category: int = 0,
+        cacheable_fields: Tuple[str, ...] = ("address", "size"),
+        invalidation: InvalidationPolicy = InvalidationPolicy.NONE,
+    ) -> ETCTEntry:
+        """Convenience wrapper building and registering an :class:`ETCTEntry`."""
+        entry = ETCTEntry(
+            event_type=event_type,
+            handler=handler,
+            handler_instructions=handler_instructions,
+            metadata_translations=metadata_translations,
+            metadata_accesses=metadata_accesses,
+            cacheable=cacheable,
+            check_category=check_category,
+            cacheable_fields=cacheable_fields,
+            invalidation=invalidation,
+        )
+        self.register(entry)
+        return entry
+
+    def lookup(self, event_type: EventType) -> Optional[ETCTEntry]:
+        """Return the entry for ``event_type`` or ``None`` if unregistered."""
+        return self._entries.get(event_type)
+
+    def is_registered(self, event_type: EventType) -> bool:
+        """True if a handler is registered for ``event_type``."""
+        entry = self._entries.get(event_type)
+        return entry is not None and entry.handler is not None
+
+    def registered_types(self) -> Iterable[EventType]:
+        """Iterate over the event types with registered entries."""
+        return self._entries.keys()
+
+    def filter_key(self, entry: ETCTEntry, event: DeliveredEvent) -> Tuple:
+        """Build the Idempotent Filter key for ``event`` under ``entry``.
+
+        The key is ``(CC, field values...)`` using the entry's cacheable
+        fields.  The ``address`` field refers to the memory address the
+        check concerns (destination address for stores, source address for
+        loads).
+        """
+        values = []
+        for name in entry.cacheable_fields:
+            if name == "address":
+                address = event.dest_addr if event.dest_addr is not None else event.src_addr
+                values.append(address)
+            elif name == "size":
+                values.append(event.size)
+            elif name == "thread_id":
+                values.append(event.thread_id)
+        return (entry.check_category, *values)

@@ -1,0 +1,302 @@
+"""Event model shared by the LBA substrate, the accelerators and the lifeguards.
+
+The paper's framework (Figure 1) is driven by an *event stream*: as each
+application instruction retires, the event-capture runtime emits a compressed
+log record describing it, and rare high-level events (``malloc``, ``free``,
+``lock``/``unlock``, system calls) are inserted as annotation records by
+wrapper libraries.  On the consumer side each record is mapped to one or more
+*events*; lifeguards register handlers per event type in the ETCT.
+
+This module defines:
+
+* :class:`EventType` -- the full event taxonomy.  The propagation-tracking
+  subset mirrors Figure 5 of the paper exactly (``imm_to_reg`` ..
+  ``dest_mem_op_reg`` plus ``other``); the checking subset covers memory
+  loads/stores, address computations, conditional-test inputs and indirect
+  jumps; the annotation subset covers the rare high-level events.
+* :class:`InstructionRecord` -- the per-retired-instruction log record
+  (program counter, event type, operand identifiers, data addresses/sizes).
+* :class:`AnnotationRecord` -- software-inserted high-level event records.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class EventClass(enum.Enum):
+    """Coarse classification used by the ETCT and the accelerators.
+
+    ``UPDATE`` events may modify lifeguard metadata (propagation tracking),
+    ``CHECK`` events only consult metadata and are candidates for idempotent
+    filtering, ``RARE`` events are infrequent high-level events that are
+    always delivered to the lifeguard, and ``NEUTRAL`` records describe
+    instructions no lifeguard is interested in (direct jumps, nops); they
+    still occupy log bandwidth and application-core cycles but are never
+    delivered.
+    """
+
+    UPDATE = "update"
+    CHECK = "check"
+    RARE = "rare"
+    NEUTRAL = "neutral"
+
+
+class EventType(enum.Enum):
+    """Every event type that can be delivered to a lifeguard.
+
+    The first block matches the original-event column of Figure 5 in the
+    paper and describes how an instruction moves data; the second block
+    contains per-instruction checking events; the third block contains the
+    rare annotation events of Figure 1.
+    """
+
+    # --- propagation / metadata-update events (Figure 5) -------------------
+    IMM_TO_REG = "imm_to_reg"
+    IMM_TO_MEM = "imm_to_mem"
+    REG_SELF = "reg_self"
+    MEM_SELF = "mem_self"
+    REG_TO_REG = "reg_to_reg"
+    REG_TO_MEM = "reg_to_mem"
+    MEM_TO_REG = "mem_to_reg"
+    MEM_TO_MEM = "mem_to_mem"
+    DEST_REG_OP_REG = "dest_reg_op_reg"
+    DEST_REG_OP_MEM = "dest_reg_op_mem"
+    DEST_MEM_OP_REG = "dest_mem_op_reg"
+    OTHER = "other"
+
+    # --- instruction-grain checking events ---------------------------------
+    MEM_LOAD = "mem_load"
+    MEM_STORE = "mem_store"
+    ADDR_COMPUTE = "addr_compute"
+    COND_TEST = "cond_test"
+    INDIRECT_JUMP = "indirect_jump"
+
+    # --- records no lifeguard cares about (direct control flow, nops) -------
+    CONTROL = "control"
+
+    # --- rare (annotation) events -------------------------------------------
+    MALLOC = "malloc"
+    FREE = "free"
+    REALLOC = "realloc"
+    LOCK = "lock"
+    UNLOCK = "unlock"
+    THREAD_CREATE = "thread_create"
+    THREAD_EXIT = "thread_exit"
+    SYSCALL_READ = "syscall_read"
+    SYSCALL_RECV = "syscall_recv"
+    SYSCALL_WRITE = "syscall_write"
+    SYSCALL_OTHER = "syscall_other"
+    PRINTF = "printf"
+
+    @property
+    def event_class(self) -> EventClass:
+        """Return the coarse :class:`EventClass` of this event type."""
+        if self in _PROPAGATION_EVENTS:
+            return EventClass.UPDATE
+        if self in _CHECK_EVENTS:
+            return EventClass.CHECK
+        if self is EventType.CONTROL:
+            return EventClass.NEUTRAL
+        return EventClass.RARE
+
+    @property
+    def is_propagation(self) -> bool:
+        """True if the event belongs to the Figure 5 propagation taxonomy."""
+        return self in _PROPAGATION_EVENTS
+
+    @property
+    def is_check(self) -> bool:
+        """True if the event is an instruction-grain checking event."""
+        return self in _CHECK_EVENTS
+
+    @property
+    def is_rare(self) -> bool:
+        """True if the event is a rare, software-annotated event."""
+        return self.event_class is EventClass.RARE
+
+
+_PROPAGATION_EVENTS = frozenset(
+    {
+        EventType.IMM_TO_REG,
+        EventType.IMM_TO_MEM,
+        EventType.REG_SELF,
+        EventType.MEM_SELF,
+        EventType.REG_TO_REG,
+        EventType.REG_TO_MEM,
+        EventType.MEM_TO_REG,
+        EventType.MEM_TO_MEM,
+        EventType.DEST_REG_OP_REG,
+        EventType.DEST_REG_OP_MEM,
+        EventType.DEST_MEM_OP_REG,
+        EventType.OTHER,
+    }
+)
+
+_CHECK_EVENTS = frozenset(
+    {
+        EventType.MEM_LOAD,
+        EventType.MEM_STORE,
+        EventType.ADDR_COMPUTE,
+        EventType.COND_TEST,
+        EventType.INDIRECT_JUMP,
+    }
+)
+
+#: Event types that *read* the destination register before overwriting it
+#: (``dest_reg op= src``).  Used by the IT state machine.
+BINARY_DEST_REG_EVENTS = frozenset(
+    {EventType.DEST_REG_OP_REG, EventType.DEST_REG_OP_MEM}
+)
+
+#: Syscall event types that introduce tainted data for TAINTCHECK.
+TAINT_SOURCE_SYSCALLS = frozenset({EventType.SYSCALL_READ, EventType.SYSCALL_RECV})
+
+
+@dataclass(frozen=True)
+class InstructionRecord:
+    """A per-retired-instruction log record.
+
+    Conceptually matches the paper's record: program counter, instruction
+    type, input/output operand identifiers and any data addresses.  The
+    compressed on-wire size is modelled separately by
+    :mod:`repro.lba.record`.
+
+    Attributes:
+        pc: program counter of the retired instruction.
+        event_type: the Figure 5 propagation classification of the
+            instruction (``other`` for instructions outside the taxonomy).
+        dest_reg: destination register index, if the destination is a
+            register.
+        src_reg: source register index, if a register source exists.
+        dest_addr: destination memory address, if the destination is memory.
+        src_addr: source memory address, if a memory source exists.
+        size: memory access size in bytes (0 when no memory is touched).
+        is_load: True if the instruction reads memory.
+        is_store: True if the instruction writes memory.
+        base_reg: base register used in address computation (or ``None``).
+        index_reg: index register used in address computation (or ``None``).
+        is_cond_test: True if the instruction sets condition flags from its
+            inputs (``cmp``/``test``-like).
+        is_indirect_jump: True if control transfers through a register or
+            memory value.
+        thread_id: id of the application thread that retired the instruction.
+        immediate: immediate operand value (informational only).
+    """
+
+    pc: int
+    event_type: EventType
+    dest_reg: Optional[int] = None
+    src_reg: Optional[int] = None
+    dest_addr: Optional[int] = None
+    src_addr: Optional[int] = None
+    size: int = 0
+    is_load: bool = False
+    is_store: bool = False
+    base_reg: Optional[int] = None
+    index_reg: Optional[int] = None
+    is_cond_test: bool = False
+    is_indirect_jump: bool = False
+    thread_id: int = 0
+    immediate: Optional[int] = None
+
+    def memory_range(self) -> Optional[Tuple[int, int]]:
+        """Return ``(address, size)`` of the memory location written or read.
+
+        Store addresses take precedence over load addresses because the
+        conflict-detection logic of Inheritance Tracking cares about writes.
+        """
+        if self.dest_addr is not None and self.size:
+            return (self.dest_addr, self.size)
+        if self.src_addr is not None and self.size:
+            return (self.src_addr, self.size)
+        return None
+
+
+@dataclass(frozen=True)
+class AnnotationRecord:
+    """A software-inserted high-level event record.
+
+    Wrapper libraries around ``malloc``/``free``, the pthread lock
+    primitives and the system call layer insert these records into the log
+    (Section 3 of the paper).
+
+    Attributes:
+        event_type: one of the rare :class:`EventType` members.
+        address: start address the event refers to (heap block, lock
+            address, buffer address) or ``None``.
+        size: size in bytes the event refers to (allocation size, buffer
+            length) or 0.
+        thread_id: application thread that produced the event.
+        pc: program counter of the call site (informational).
+        payload: free-form extra information (e.g. format string address).
+    """
+
+    event_type: EventType
+    address: Optional[int] = None
+    size: int = 0
+    thread_id: int = 0
+    pc: int = 0
+    payload: Optional[int] = None
+
+
+#: A log record is either a per-instruction record or an annotation record.
+Record = object  # documented alias; isinstance checks use the two dataclasses
+
+
+@dataclass
+class DeliveredEvent:
+    """An event delivered to the lifeguard after acceleration.
+
+    The accelerator pipeline may transform the original record (e.g. IT
+    turns a filtered ``reg_to_mem`` whose source register inherits from
+    address ``A`` into a ``mem_to_mem`` copy from ``A``), so the delivered
+    event carries its own operand fields rather than simply pointing at the
+    original record.
+    """
+
+    event_type: EventType
+    pc: int = 0
+    dest_reg: Optional[int] = None
+    src_reg: Optional[int] = None
+    dest_addr: Optional[int] = None
+    src_addr: Optional[int] = None
+    size: int = 0
+    thread_id: int = 0
+    base_reg: Optional[int] = None
+    index_reg: Optional[int] = None
+    payload: Optional[int] = None
+    #: original record the event was derived from (for slow-path handlers)
+    origin: Optional[object] = field(default=None, repr=False)
+
+    @classmethod
+    def from_instruction(cls, record: InstructionRecord, event_type: Optional[EventType] = None) -> "DeliveredEvent":
+        """Build a delivered event mirroring an instruction record."""
+        return cls(
+            event_type=event_type or record.event_type,
+            pc=record.pc,
+            dest_reg=record.dest_reg,
+            src_reg=record.src_reg,
+            dest_addr=record.dest_addr,
+            src_addr=record.src_addr,
+            size=record.size,
+            thread_id=record.thread_id,
+            base_reg=record.base_reg,
+            index_reg=record.index_reg,
+            origin=record,
+        )
+
+    @classmethod
+    def from_annotation(cls, record: AnnotationRecord) -> "DeliveredEvent":
+        """Build a delivered event mirroring an annotation record."""
+        return cls(
+            event_type=record.event_type,
+            pc=record.pc,
+            dest_addr=record.address,
+            size=record.size,
+            thread_id=record.thread_id,
+            payload=record.payload,
+            origin=record,
+        )

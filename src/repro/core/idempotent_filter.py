@@ -1,0 +1,140 @@
+"""Idempotent Filters (IF) -- Section 5 of the paper.
+
+Many lifeguard checks are *idempotent*: once ADDRCHECK has verified that a
+memory location is allocated, re-checking subsequent loads and stores to
+the same location adds nothing -- until a ``free`` invalidates the
+conclusion.  The IF is a small lifeguard-configurable cache of recently
+observed checking events; an incoming event that hits in the cache is
+discarded, one that misses is delivered (and, if its type is cacheable,
+inserted with LRU replacement).
+
+The filter key is built by the ETCT: the check-categorisation (CC) value of
+the event type plus the record fields the lifeguard marked cacheable.  The
+ETCT also defines the invalidation policy: rare events such as ``free`` or
+system calls may flush the whole filter or only the matching entries.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.core.config import IFConfig
+
+
+@dataclass
+class IFStats:
+    """Counters describing filter effectiveness."""
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    invalidations_full: int = 0
+    invalidations_selective: int = 0
+
+    @property
+    def filtered_fraction(self) -> float:
+        """Fraction of filterable check events that were discarded."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class IdempotentFilter:
+    """A set-associative cache of recently performed (idempotent) checks.
+
+    Keys are hashable tuples produced by :meth:`repro.core.etct.ETCT.filter_key`
+    (``(CC, field values...)``).  With ``associativity == 0`` in the config
+    the filter behaves as a single fully-associative set.
+    """
+
+    def __init__(self, config: Optional[IFConfig] = None) -> None:
+        self.config = config or IFConfig()
+        self.stats = IFStats()
+        self._sets: Dict[int, OrderedDict[Hashable, None]] = {}
+
+    # ------------------------------------------------------------------ geometry
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets (1 when fully associative)."""
+        return self.config.num_sets
+
+    @property
+    def ways(self) -> int:
+        """Entries per set."""
+        return self.config.ways
+
+    def _set_index(self, key: Hashable) -> int:
+        if self.num_sets == 1:
+            return 0
+        return hash(key) % self.num_sets
+
+    # ------------------------------------------------------------------ operations
+
+    def lookup_insert(self, key: Hashable) -> bool:
+        """Look up ``key``; on a miss insert it.  Returns True on a hit.
+
+        A hit means the incoming event is idempotent with a recently
+        delivered one and can be discarded.
+        """
+        self.stats.lookups += 1
+        index = self._set_index(key)
+        entries = self._sets.setdefault(index, OrderedDict())
+        if key in entries:
+            self.stats.hits += 1
+            entries.move_to_end(key)
+            return True
+        self.stats.misses += 1
+        if len(entries) >= self.ways:
+            entries.popitem(last=False)
+        entries[key] = None
+        self.stats.insertions += 1
+        return False
+
+    def contains(self, key: Hashable) -> bool:
+        """True if ``key`` is currently cached (no side effects)."""
+        index = self._set_index(key)
+        return key in self._sets.get(index, ())
+
+    def invalidate_all(self) -> None:
+        """Drop every cached check (metadata changed globally)."""
+        self._sets.clear()
+        self.stats.invalidations_full += 1
+
+    def invalidate_matching(self, key: Hashable) -> None:
+        """Drop the entry exactly matching ``key``, if present."""
+        index = self._set_index(key)
+        entries = self._sets.get(index)
+        if entries is not None and key in entries:
+            del entries[key]
+        self.stats.invalidations_selective += 1
+
+    def invalidate_range(self, cc: int, start: int, size: int) -> int:
+        """Drop every cached check of category ``cc`` whose address falls in
+        ``[start, start + size)``.
+
+        This supports selective invalidation for rare events that carry an
+        address range (e.g. ``free`` of one block) without flushing unrelated
+        checks.  Returns the number of entries removed.
+        """
+        removed = 0
+        for entries in self._sets.values():
+            stale = [
+                key
+                for key in entries
+                if len(key) >= 2
+                and key[0] == cc
+                and isinstance(key[1], int)
+                and start <= key[1] < start + size
+            ]
+            for key in stale:
+                del entries[key]
+                removed += 1
+        if removed:
+            self.stats.invalidations_selective += removed
+        return removed
+
+    def resident_entries(self) -> int:
+        """Number of checks currently cached."""
+        return sum(len(entries) for entries in self._sets.values())

@@ -1,0 +1,29 @@
+"""Experiment harness regenerating every table and figure of the evaluation.
+
+Each ``figureNN`` module exposes a ``run_*`` function returning a structured
+result plus a ``format_*`` function rendering it as the ASCII analogue of
+the paper's figure/table.  :mod:`repro.experiments.runner` runs them all and
+is installed as the ``repro-experiments`` console script.
+"""
+
+from repro.experiments.figure02 import run_figure02, format_figure02
+from repro.experiments.figure10 import run_figure10, format_figure10
+from repro.experiments.figure11 import run_figure11, format_figure11
+from repro.experiments.figure12 import run_figure12, format_figure12
+from repro.experiments.figure13 import run_figure13, format_figure13
+from repro.experiments.figure14 import run_figure14, format_figure14
+
+__all__ = [
+    "run_figure02",
+    "format_figure02",
+    "run_figure10",
+    "format_figure10",
+    "run_figure11",
+    "format_figure11",
+    "run_figure12",
+    "format_figure12",
+    "run_figure13",
+    "format_figure13",
+    "run_figure14",
+    "format_figure14",
+]

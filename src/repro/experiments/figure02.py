@@ -1,0 +1,30 @@
+"""Figure 2: applicability of the three techniques to the five lifeguards."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.reporting import format_table
+from repro.lifeguards import ALL_LIFEGUARDS
+
+
+def run_figure02(lifeguards: Optional[Sequence[str]] = None) -> Dict[str, Dict[str, bool]]:
+    """Return ``{lifeguard: {"IT": bool, "IF": bool, "M-TLB": bool}}``."""
+    names = list(lifeguards) if lifeguards else list(ALL_LIFEGUARDS)
+    matrix: Dict[str, Dict[str, bool]] = {}
+    for name in names:
+        info = ALL_LIFEGUARDS[name].info()
+        matrix[name] = {"IT": info.uses_it, "IF": info.uses_if, "M-TLB": info.uses_lma}
+    return matrix
+
+
+def format_figure02(matrix: Dict[str, Dict[str, bool]]) -> str:
+    """Render the applicability matrix in the style of Figure 2."""
+    rows = [
+        [name] + ["yes" if matrix[name][column] else "" for column in ("IT", "IF", "M-TLB")]
+        for name in matrix
+    ]
+    return format_table(
+        ["Lifeguard", "IT", "IF", "M-TLB"], rows,
+        title="Figure 2: applying the acceleration framework to the studied lifeguards",
+    )

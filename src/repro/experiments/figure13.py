@@ -1,0 +1,85 @@
+"""Figure 13: IT and IF profiling sweeps (the PIN-analysis study).
+
+* (a) the fraction of propagation events removed by Inheritance Tracking,
+  per benchmark;
+* (b) the average fraction of check events removed by the Idempotent Filter
+  as a function of filter entries and associativity when loads and stores
+  share one check categorisation (ADDRCHECK-style accessibility checks);
+* (c) the same sweep when loads and stores are categorised separately and
+  the key includes the accessing thread (LOCKSET-style checks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.profiler import Profiler
+from repro.analysis.sweeps import (
+    IF_ASSOCIATIVITY_SWEEP,
+    IF_ENTRY_SWEEP,
+    sweep_if_design_space,
+    sweep_it_reduction,
+)
+from repro.experiments.reporting import format_percent, format_table
+
+
+@dataclass
+class Figure13Result:
+    """IT reduction per benchmark and IF reduction sweeps."""
+
+    #: ``{benchmark: fraction of propagation events removed}``
+    it_reduction: Dict[str, float] = field(default_factory=dict)
+    #: ``{associativity: {entries: avg reduction}}`` for combined loads/stores
+    if_combined: Dict[int, Dict[int, float]] = field(default_factory=dict)
+    #: same for separate load/store categorisation
+    if_separate: Dict[int, Dict[int, float]] = field(default_factory=dict)
+
+
+def run_figure13(
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: float = 1.0,
+    entries: Sequence[int] = IF_ENTRY_SWEEP,
+    associativities: Sequence[int] = IF_ASSOCIATIVITY_SWEEP,
+    profiler: Optional[Profiler] = None,
+) -> Figure13Result:
+    """Run the Figure 13 sweeps."""
+    profiler = profiler or Profiler()
+    result = Figure13Result()
+    for it in sweep_it_reduction(profiler, benchmarks, scale):
+        result.it_reduction[it.workload] = it.reduction
+    result.if_combined = sweep_if_design_space(
+        profiler, "combined", benchmarks, entries, associativities, scale
+    )
+    result.if_separate = sweep_if_design_space(
+        profiler, "separate", benchmarks, entries, associativities, scale
+    )
+    return result
+
+
+def _format_if_sweep(sweep: Dict[int, Dict[int, float]], title: str) -> str:
+    entries = sorted({e for per in sweep.values() for e in per})
+    rows: List[List[object]] = []
+    for associativity, per_entries in sweep.items():
+        label = "fully-assoc" if associativity == 0 else f"{associativity}-way"
+        rows.append(
+            [label] + [format_percent(per_entries.get(e, 0.0)) if e in per_entries else "-"
+                       for e in entries]
+        )
+    return format_table(["assoc \\ entries"] + entries, rows, title=title)
+
+
+def format_figure13(result: Figure13Result) -> str:
+    """Render the three panels of Figure 13."""
+    panel_a = format_table(
+        ["benchmark", "reduced update events"],
+        [[name, format_percent(value)] for name, value in result.it_reduction.items()],
+        title="Figure 13(a): IT reduction of propagation events",
+    )
+    panel_b = _format_if_sweep(
+        result.if_combined, "Figure 13(b): IF reduction, combined loads and stores"
+    )
+    panel_c = _format_if_sweep(
+        result.if_separate, "Figure 13(c): IF reduction, separate loads and stores"
+    )
+    return "\n\n".join([panel_a, panel_b, panel_c])

@@ -1,0 +1,97 @@
+"""Figure 14: exploring the M-TLB design space.
+
+* (a) maximum and average M-TLB miss rate across the benchmarks as the
+  number of level-1 bits varies from 20 down to 8 and the number of M-TLB
+  entries varies from 16 to 256;
+* (b) fixed 20-bit level-1 design versus the flexible per-benchmark design
+  (level-1 bits chosen under the paper's space constraints), for 16-, 64-
+  and 256-entry M-TLBs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from repro.analysis.profiler import Profiler
+from repro.analysis.sweeps import (
+    MTLB_ENTRY_SWEEP,
+    MTLB_LEVEL1_SWEEP,
+    sweep_mtlb_design_space,
+    sweep_mtlb_flexible_vs_fixed,
+)
+from repro.experiments.reporting import format_percent, format_table
+
+
+@dataclass
+class Figure14Result:
+    """M-TLB design-space sweep results."""
+
+    #: ``{entries: {level1_bits: {"max": rate, "avg": rate}}}``
+    design_space: Dict[int, Dict[int, Dict[str, float]]] = field(default_factory=dict)
+    #: ``{benchmark: {"flexible_bits", "fixed": {...}, "flexible": {...}}}``
+    fixed_vs_flexible: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+
+def run_figure14(
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: float = 1.0,
+    level1_bits: Sequence[int] = MTLB_LEVEL1_SWEEP,
+    entries: Sequence[int] = MTLB_ENTRY_SWEEP,
+    profiler: Optional[Profiler] = None,
+) -> Figure14Result:
+    """Run the Figure 14 sweeps."""
+    profiler = profiler or Profiler()
+    result = Figure14Result()
+    result.design_space = sweep_mtlb_design_space(
+        profiler, benchmarks, level1_bits, entries, scale
+    )
+    result.fixed_vs_flexible = sweep_mtlb_flexible_vs_fixed(
+        profiler, benchmarks, entries=(16, 64, 256), scale=scale
+    )
+    return result
+
+
+def format_figure14(result: Figure14Result) -> str:
+    """Render the two panels of Figure 14."""
+    bit_columns = sorted(
+        {bits for per in result.design_space.values() for bits in per}, reverse=True
+    )
+    rows = []
+    for entries, per_bits in result.design_space.items():
+        for stat in ("max", "avg"):
+            rows.append(
+                [f"{entries}-{stat}"]
+                + [format_percent(per_bits[bits][stat]) if bits in per_bits else "-"
+                   for bits in bit_columns]
+            )
+    panel_a = format_table(
+        ["entries-stat \\ level-1 bits"] + bit_columns, rows,
+        title="Figure 14(a): M-TLB miss rate vs level-1 bits and entries",
+    )
+
+    rows_b = []
+    for benchmark, data in result.fixed_vs_flexible.items():
+        fixed = data["fixed"]
+        flexible = data["flexible"]
+        rows_b.append(
+            [
+                f"{benchmark}(20)",
+                format_percent(fixed[16]),
+                format_percent(fixed[64]),
+                format_percent(fixed[256]),
+            ]
+        )
+        rows_b.append(
+            [
+                f"{benchmark}({data['flexible_bits']})",
+                format_percent(flexible[16]),
+                format_percent(flexible[64]),
+                format_percent(flexible[256]),
+            ]
+        )
+    panel_b = format_table(
+        ["benchmark(level-1 bits)", "16-entry", "64-entry", "256-entry"], rows_b,
+        title="Figure 14(b): fixed vs flexible level-1 bits",
+    )
+    return "\n\n".join([panel_a, panel_b])

@@ -1,0 +1,85 @@
+"""Shared helpers for the figure-regeneration experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.core.config import SystemConfig
+from repro.lba.platform import LBASystem, MonitoringResult
+from repro.lifeguards import (
+    ALL_LIFEGUARDS,
+    AddrCheck,
+    LockSet,
+    MemCheck,
+    TaintCheck,
+    TaintCheckDetailed,
+)
+from repro.lifeguards.base import Lifeguard
+from repro.workloads.base import get_workload, workload_names
+
+#: Technique stacks applied one by one, per lifeguard (the bars of Figure 11).
+#: Each entry is ``(label, lma, it, idempotent_filter)``.
+TECHNIQUE_STACKS: Dict[str, List[Tuple[str, bool, bool, bool]]] = {
+    AddrCheck.name: [
+        ("BASE", False, False, False),
+        ("LMA", True, False, False),
+        ("LMA+IF", True, False, True),
+    ],
+    MemCheck.name: [
+        ("BASE", False, False, False),
+        ("LMA", True, False, False),
+        ("LMA+IT", True, True, False),
+        ("LMA+IT+IF", True, True, True),
+    ],
+    TaintCheck.name: [
+        ("BASE", False, False, False),
+        ("LMA", True, False, False),
+        ("LMA+IT", True, True, False),
+    ],
+    TaintCheckDetailed.name: [
+        ("BASE", False, False, False),
+        ("LMA", True, False, False),
+        ("LMA+IT", True, True, False),
+    ],
+    LockSet.name: [
+        ("BASE", False, False, False),
+        ("LMA", True, False, False),
+        ("LMA+IF", True, False, True),
+    ],
+}
+
+
+def make_config(lma: bool, it: bool, idempotent_filter: bool) -> SystemConfig:
+    """Build a :class:`SystemConfig` with the given techniques enabled."""
+    return SystemConfig().with_techniques(lma=lma, it=it, idempotent_filter=idempotent_filter)
+
+
+def benchmarks_for(lifeguard_name: str,
+                   benchmarks: Optional[Sequence[str]] = None) -> List[str]:
+    """The benchmark list a lifeguard is evaluated on (LOCKSET uses Table 3)."""
+    if benchmarks is not None:
+        return list(benchmarks)
+    return workload_names(multithreaded=lifeguard_name == LockSet.name)
+
+
+def run_monitored(
+    lifeguard_cls: Type[Lifeguard],
+    benchmark: str,
+    config: SystemConfig,
+    scale: float = 1.0,
+    config_label: str = "",
+) -> MonitoringResult:
+    """Run one (lifeguard, benchmark, configuration) combination."""
+    workload = get_workload(benchmark, scale=scale)
+    machine = workload.build_machine()
+    lifeguard = lifeguard_cls()
+    system = LBASystem(machine, lifeguard, config, workload_name=benchmark)
+    return system.run(config_label or "custom")
+
+
+def lifeguard_classes(names: Optional[Sequence[str]] = None) -> List[Type[Lifeguard]]:
+    """Resolve lifeguard names (default: all five of the paper)."""
+    if names is None:
+        return list(ALL_LIFEGUARDS.values())
+    return [ALL_LIFEGUARDS[name] for name in names]

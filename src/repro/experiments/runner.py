@@ -1,0 +1,92 @@
+"""Run every experiment and print (or save) the regenerated tables/figures.
+
+Installed as the ``repro-experiments`` console script::
+
+    repro-experiments                # run everything at the default scale
+    repro-experiments --quick        # smaller benchmark subset, faster
+    repro-experiments --output out.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from repro.analysis.profiler import Profiler
+from repro.experiments.figure02 import format_figure02, run_figure02
+from repro.experiments.figure10 import format_figure10, run_figure10
+from repro.experiments.figure11 import format_figure11, run_figure11
+from repro.experiments.figure12 import format_figure12, run_figure12
+from repro.experiments.figure13 import format_figure13, run_figure13
+from repro.experiments.figure14 import format_figure14, run_figure14
+
+#: Benchmark subset used by ``--quick`` (spans memory-bound and CPU-bound).
+QUICK_SPEC = ("bzip2", "gcc", "mcf", "crafty")
+QUICK_MT = ("pbzip2", "water_nq")
+
+
+def run_all(quick: bool = False, scale: float = 1.0) -> List[str]:
+    """Run every experiment and return the formatted sections."""
+    spec = list(QUICK_SPEC) if quick else None
+    sections: List[str] = []
+    profiler = Profiler()
+
+    sections.append(format_figure02(run_figure02()))
+
+    # Figures 10-12 use the per-lifeguard benchmark suites.  Under --quick
+    # the SPEC suite is narrowed for the four single-threaded lifeguards and
+    # LOCKSET is run separately on a narrowed multithreaded suite (an
+    # explicit benchmark list applies to every lifeguard it is passed with).
+    if quick:
+        spec_lifeguards = ["AddrCheck", "MemCheck", "TaintCheck", "TaintCheckDetailed"]
+        figure10 = run_figure10(lifeguards=spec_lifeguards, benchmarks=spec, scale=scale)
+        lockset10 = run_figure10(lifeguards=["LockSet"], benchmarks=list(QUICK_MT), scale=scale)
+        figure10.slowdowns.update(lockset10.slowdowns)
+        figure10.errors.update(lockset10.errors)
+        figure11 = run_figure11(lifeguards=spec_lifeguards, benchmarks=spec, scale=scale)
+        lockset11 = run_figure11(lifeguards=["LockSet"], benchmarks=list(QUICK_MT), scale=scale)
+        figure11.averages.update(lockset11.averages)
+        figure11.per_benchmark.update(lockset11.per_benchmark)
+        figure12 = run_figure12(lifeguards=spec_lifeguards, benchmarks=spec, scale=scale)
+        lockset12 = run_figure12(lifeguards=["LockSet"], benchmarks=list(QUICK_MT), scale=scale)
+        figure12.lma_instruction_reduction.update(lockset12.lma_instruction_reduction)
+        figure12.if_check_reduction.update(lockset12.if_check_reduction)
+    else:
+        figure10 = run_figure10(scale=scale)
+        figure11 = run_figure11(scale=scale)
+        figure12 = run_figure12(scale=scale)
+    sections.append(format_figure10(figure10))
+    sections.append(format_figure11(figure11))
+    sections.append(format_figure12(figure12))
+    sections.append(format_figure13(run_figure13(benchmarks=spec, scale=scale, profiler=profiler)))
+    sections.append(format_figure14(run_figure14(benchmarks=spec, scale=scale, profiler=profiler)))
+    return sections
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Console entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="use a reduced benchmark subset for a faster run")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale factor (default 1.0)")
+    parser.add_argument("--output", type=str, default=None,
+                        help="write the report to a file instead of stdout")
+    args = parser.parse_args(argv)
+
+    start = time.time()
+    sections = run_all(quick=args.quick, scale=args.scale)
+    report = "\n\n" + "\n\n".join(sections) + "\n"
+    report += f"\n(total experiment time: {time.time() - start:.1f}s)\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+    else:
+        sys.stdout.write(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,45 @@
+"""IA32-flavoured functional ISA substrate.
+
+The paper's evaluation monitors IA32 applications under Simics.  This
+subpackage provides the functional equivalent needed by the acceleration
+framework: a small register machine whose retired instructions are
+classified into exactly the event taxonomy of Figure 5 and emitted as
+:class:`repro.core.events.InstructionRecord` objects, plus annotation
+records for the rare high-level events (``malloc``, ``free``, locks and
+system calls).
+"""
+
+from repro.isa.registers import Register, RegisterFile, NUM_GPRS
+from repro.isa.instructions import (
+    Cond,
+    Imm,
+    Instruction,
+    Mem,
+    Opcode,
+    Reg,
+    SyscallKind,
+)
+from repro.isa.program import Program, ProgramBuilder
+from repro.isa.machine import ExecutionLimitExceeded, Machine, MachineError, Trap
+from repro.isa.threads import LockManager, ThreadedMachine
+
+__all__ = [
+    "Register",
+    "RegisterFile",
+    "NUM_GPRS",
+    "Cond",
+    "Imm",
+    "Instruction",
+    "Mem",
+    "Opcode",
+    "Reg",
+    "SyscallKind",
+    "Program",
+    "ProgramBuilder",
+    "ExecutionLimitExceeded",
+    "Machine",
+    "MachineError",
+    "Trap",
+    "LockManager",
+    "ThreadedMachine",
+]

@@ -1,0 +1,55 @@
+"""General-purpose register file of the monitored application."""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterator
+
+WORD_MASK = 0xFFFF_FFFF
+
+
+class Register(enum.IntEnum):
+    """The eight IA32 general-purpose registers.
+
+    The integer value doubles as the register identifier carried in log
+    records and used to index the Inheritance Tracking table.
+    """
+
+    EAX = 0
+    EBX = 1
+    ECX = 2
+    EDX = 3
+    ESI = 4
+    EDI = 5
+    EBP = 6
+    ESP = 7
+
+
+#: Number of general-purpose registers (size of the IT table in the paper).
+NUM_GPRS = len(Register)
+
+
+class RegisterFile:
+    """A 32-bit register file plus instruction pointer and compare flags."""
+
+    def __init__(self) -> None:
+        self._values: Dict[Register, int] = {reg: 0 for reg in Register}
+        self.eip = 0
+        #: result of the last CMP/TEST as a signed difference (None before any compare)
+        self.last_compare: int | None = None
+
+    def read(self, reg: Register) -> int:
+        """Read a register as an unsigned 32-bit value."""
+        return self._values[Register(reg)]
+
+    def write(self, reg: Register, value: int) -> None:
+        """Write a register, truncating to 32 bits."""
+        self._values[Register(reg)] = value & WORD_MASK
+
+    def items(self) -> Iterator[tuple[Register, int]]:
+        """Iterate over ``(register, value)`` pairs."""
+        return iter(self._values.items())
+
+    def snapshot(self) -> Dict[str, int]:
+        """Return a name→value snapshot (useful in tests and debugging)."""
+        return {reg.name: value for reg, value in self._values.items()}

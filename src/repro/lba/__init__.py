@@ -1,0 +1,32 @@
+"""Log-Based Architectures (LBA) substrate -- Section 3 of the paper.
+
+The application runs on one core; as each instruction retires a compressed
+log record is captured and transported through a buffer in the shared
+on-chip cache to a second core, where the lifeguard consumes the records in
+an event-driven loop.  This subpackage models the producer side (capture +
+compression), the log buffer (with producer/consumer stall coupling), the
+consumer side (event dispatch through the acceleration pipeline into
+lifeguard handlers) and the dual-core timing model that turns all of this
+into the slowdown numbers reported in the paper's Figures 10 and 11.
+"""
+
+from repro.lba.record import encoded_record_size
+from repro.lba.log_buffer import LogBuffer, LogBufferStats
+from repro.lba.capture import LogProducer, ProducerStats
+from repro.lba.dispatch import EventDispatcher, DispatchStats
+from repro.lba.timing import CouplingModel, TimingBreakdown
+from repro.lba.platform import LBASystem, MonitoringResult
+
+__all__ = [
+    "encoded_record_size",
+    "LogBuffer",
+    "LogBufferStats",
+    "LogProducer",
+    "ProducerStats",
+    "EventDispatcher",
+    "DispatchStats",
+    "CouplingModel",
+    "TimingBreakdown",
+    "LBASystem",
+    "MonitoringResult",
+]

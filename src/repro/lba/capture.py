@@ -1,0 +1,133 @@
+"""Producer-side log capture.
+
+Wraps the application machine (single- or multi-threaded) and, for each
+record it emits, computes the application-core cycle cost of the retiring
+instruction (1 cycle base for the in-order core plus instruction-fetch and
+data-access latencies through the core's private caches and the shared L2)
+and the compressed log bytes written.  The resulting ``(record, app_cycles)``
+stream feeds the coupling model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple, Union
+
+from repro.cache.hierarchy import AccessType, MemoryHierarchy
+from repro.core.events import AnnotationRecord, EventType, InstructionRecord
+from repro.isa.machine import Machine
+from repro.isa.threads import ThreadedMachine
+from repro.lba.record import encoded_record_size
+
+Record = Union[InstructionRecord, AnnotationRecord]
+ApplicationMachine = Union[Machine, ThreadedMachine]
+
+#: Application-core cost charged for rare library/system-call events
+#: (the wrapped routine's own work, which is not otherwise simulated).
+_ANNOTATION_APP_CYCLES = {
+    EventType.MALLOC: 60,
+    EventType.FREE: 40,
+    EventType.REALLOC: 80,
+    EventType.LOCK: 20,
+    EventType.UNLOCK: 15,
+    EventType.THREAD_CREATE: 200,
+    EventType.THREAD_EXIT: 100,
+    EventType.SYSCALL_READ: 250,
+    EventType.SYSCALL_RECV: 250,
+    EventType.SYSCALL_WRITE: 250,
+    EventType.SYSCALL_OTHER: 200,
+    EventType.PRINTF: 120,
+}
+
+#: Which application core the monitored program runs on.
+APPLICATION_CORE = 0
+
+
+@dataclass
+class ProducerStats:
+    """Aggregate producer-side statistics."""
+
+    records: int = 0
+    app_cycles: int = 0
+    log_bytes: float = 0.0
+    instructions: int = 0
+    annotations: int = 0
+
+
+class LogProducer:
+    """Streams ``(record, app_cycle_cost)`` pairs from an application machine."""
+
+    def __init__(
+        self,
+        machine: ApplicationMachine,
+        hierarchy: Optional[MemoryHierarchy] = None,
+        max_instructions: int = 5_000_000,
+    ) -> None:
+        self.machine = machine
+        self.hierarchy = hierarchy
+        self.max_instructions = max_instructions
+        self.stats = ProducerStats()
+
+    def _record_cost(self, record: Record) -> int:
+        if isinstance(record, AnnotationRecord):
+            self.stats.annotations += 1
+            return _ANNOTATION_APP_CYCLES.get(record.event_type, 50)
+        self.stats.instructions += 1
+        cycles = 1
+        if self.hierarchy is not None:
+            cycles = self.hierarchy.access(
+                APPLICATION_CORE, record.pc, AccessType.INSTRUCTION_FETCH, size=4
+            )
+            if record.is_load and record.src_addr is not None:
+                cycles += self.hierarchy.access(
+                    APPLICATION_CORE, record.src_addr, AccessType.DATA_READ, record.size or 4
+                )
+            if record.is_store and record.dest_addr is not None:
+                cycles += self.hierarchy.access(
+                    APPLICATION_CORE, record.dest_addr, AccessType.DATA_WRITE, record.size or 4
+                )
+        else:
+            if record.is_load:
+                cycles += 1
+            if record.is_store:
+                cycles += 1
+        return cycles
+
+    def stream(self) -> Iterator[Tuple[Record, int]]:
+        """Yield ``(record, app_cycles)`` pairs until the program halts."""
+        records: list[Record] = []
+
+        def observer(record: Record) -> None:
+            records.append(record)
+
+        if isinstance(self.machine, ThreadedMachine):
+            runner = self._threaded_stream(observer, records)
+        else:
+            runner = self._single_stream(observer, records)
+        for record in runner:
+            cost = self._record_cost(record)
+            self.stats.records += 1
+            self.stats.app_cycles += cost
+            self.stats.log_bytes += encoded_record_size(record)
+            yield record, cost
+
+    def _single_stream(self, observer, records) -> Iterator[Record]:
+        machine = self.machine
+        executed = 0
+        while not machine.halted:
+            if executed >= self.max_instructions:
+                from repro.isa.machine import ExecutionLimitExceeded
+
+                raise ExecutionLimitExceeded(
+                    f"{machine.program.name}: exceeded {self.max_instructions} instructions"
+                )
+            for record in machine.step():
+                executed += 1
+                yield record
+
+    def _threaded_stream(self, observer, records) -> Iterator[Record]:
+        # ThreadedMachine handles its own interleaving; run it to completion
+        # through the observer and then replay.  Traces are modest (reduced
+        # inputs), so buffering the multithreaded case is acceptable.
+        self.machine.run(observer, max_instructions=self.max_instructions)
+        yield from records

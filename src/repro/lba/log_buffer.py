@@ -1,0 +1,88 @@
+"""The LBA log buffer.
+
+A bounded FIFO of compressed records living in the shared L2 cache
+(64 KB-1 MB in the paper; 64 KB in Table 2).  When the buffer is full the
+application core must stall; when it is empty the lifeguard core stalls.
+The buffer itself is functional -- the producer/consumer *timing* coupling is
+handled by :class:`repro.lba.timing.CouplingModel`, which only needs the
+capacity in records.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Tuple, Union
+
+from repro.core.config import LogBufferConfig
+from repro.core.events import AnnotationRecord, InstructionRecord
+from repro.lba.record import encoded_record_size
+
+Record = Union[InstructionRecord, AnnotationRecord]
+
+
+@dataclass
+class LogBufferStats:
+    """Occupancy and stall statistics of the log buffer."""
+
+    records_pushed: int = 0
+    records_popped: int = 0
+    bytes_pushed: float = 0.0
+    producer_stalls: int = 0
+    consumer_stalls: int = 0
+    high_water_bytes: float = 0.0
+
+
+class LogBuffer:
+    """Bounded FIFO of log records with byte-occupancy accounting."""
+
+    def __init__(self, config: Optional[LogBufferConfig] = None) -> None:
+        self.config = config or LogBufferConfig()
+        self.stats = LogBufferStats()
+        self._queue: Deque[Tuple[Record, float]] = deque()
+        self._occupancy_bytes = 0.0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def occupancy_bytes(self) -> float:
+        """Current occupancy in (compressed) bytes."""
+        return self._occupancy_bytes
+
+    @property
+    def is_empty(self) -> bool:
+        """True when there is nothing for the consumer to pop."""
+        return not self._queue
+
+    def has_room_for(self, record: Record) -> bool:
+        """True if ``record`` fits without exceeding the configured size."""
+        return self._occupancy_bytes + encoded_record_size(record) <= self.config.size_bytes
+
+    def push(self, record: Record) -> bool:
+        """Append ``record``; returns False (and records a stall) when full."""
+        size = encoded_record_size(record)
+        if self._occupancy_bytes + size > self.config.size_bytes:
+            self.stats.producer_stalls += 1
+            return False
+        self._queue.append((record, size))
+        self._occupancy_bytes += size
+        self.stats.records_pushed += 1
+        self.stats.bytes_pushed += size
+        self.stats.high_water_bytes = max(self.stats.high_water_bytes, self._occupancy_bytes)
+        return True
+
+    def pop(self) -> Optional[Record]:
+        """Remove and return the oldest record, or ``None`` (consumer stall)."""
+        if not self._queue:
+            self.stats.consumer_stalls += 1
+            return None
+        record, size = self._queue.popleft()
+        self._occupancy_bytes -= size
+        self.stats.records_popped += 1
+        return record
+
+    @property
+    def capacity_records(self) -> int:
+        """Approximate capacity in records, used by the coupling model."""
+        return self.config.capacity_records

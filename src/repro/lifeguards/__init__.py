@@ -1,0 +1,39 @@
+"""Instruction-grain lifeguards (Table 1 of the paper).
+
+Five lifeguards are provided: ADDRCHECK, MEMCHECK, TAINTCHECK, TAINTCHECK
+with detailed tracking, and LOCKSET.  Each is an event-driven checker that
+registers handlers in an ETCT, maintains shadow-memory metadata about the
+monitored application, and produces :class:`repro.lifeguards.reports.ErrorReport`
+objects when an invariant is violated.
+"""
+
+from repro.lifeguards.base import Lifeguard, LifeguardInfo, MetadataMapper
+from repro.lifeguards.reports import ErrorKind, ErrorReport
+from repro.lifeguards.addrcheck import AddrCheck
+from repro.lifeguards.memcheck import MemCheck
+from repro.lifeguards.taintcheck import TaintCheck
+from repro.lifeguards.taintcheck_detailed import TaintCheckDetailed
+from repro.lifeguards.lockset import LockSet
+
+#: The five lifeguards studied in the paper, keyed by their report name.
+ALL_LIFEGUARDS = {
+    AddrCheck.name: AddrCheck,
+    MemCheck.name: MemCheck,
+    TaintCheck.name: TaintCheck,
+    TaintCheckDetailed.name: TaintCheckDetailed,
+    LockSet.name: LockSet,
+}
+
+__all__ = [
+    "Lifeguard",
+    "LifeguardInfo",
+    "MetadataMapper",
+    "ErrorKind",
+    "ErrorReport",
+    "AddrCheck",
+    "MemCheck",
+    "TaintCheck",
+    "TaintCheckDetailed",
+    "LockSet",
+    "ALL_LIFEGUARDS",
+]

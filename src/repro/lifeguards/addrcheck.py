@@ -1,0 +1,181 @@
+"""ADDRCHECK: memory accessibility checking (Table 1).
+
+ADDRCHECK intercepts ``malloc``/``free`` and maintains one *accessible* bit
+per byte of the monitored application's address space.  Every memory access
+is checked against the accessible bits; accesses to unallocated heap memory
+are reported.  Auxiliary lists of observed allocations and frees support the
+detection of double frees, invalid frees and memory leaks.
+
+Acceleration applicability (Figure 2): Idempotent Filters (loads and stores
+share one check categorisation) and LMA.  ADDRCHECK performs no propagation
+tracking, so Inheritance Tracking does not apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.etct import InvalidationPolicy
+from repro.core.events import DeliveredEvent, EventType
+from repro.lifeguards.base import Lifeguard
+from repro.lifeguards.reports import ErrorKind
+from repro.memory.address_space import SegmentLayout
+from repro.memory.shadow import MetadataMap, TwoLevelShadowMap
+
+#: Accessible-bit values.
+_INACCESSIBLE = 0
+_ACCESSIBLE = 1
+
+#: Check-categorisation value shared by load and store checks.
+_CC_MEM_ACCESS = 1
+
+
+@dataclass
+class AllocationRecord:
+    """Auxiliary record of one observed ``malloc`` (or ``realloc``)."""
+
+    address: int
+    size: int
+    pc: int
+    freed: bool = False
+
+
+class AddrCheck(Lifeguard):
+    """Checks that every memory access targets an allocated region."""
+
+    name = "AddrCheck"
+    uses_it = False
+    uses_if = True
+    description = "Accessibility checking of every memory access (one bit per byte)."
+
+    def __init__(self, layout: Optional[SegmentLayout] = None) -> None:
+        self._layout = layout or SegmentLayout()
+        super().__init__()
+
+    # ------------------------------------------------------------------ set-up
+
+    def _configure(self) -> None:
+        #: one accessible bit per application byte, two-level organisation
+        self.accessible = TwoLevelShadowMap(level1_bits=16, level2_bits=14, element_size=1)
+        self.malloc_records: List[AllocationRecord] = []
+        self.free_records: List[int] = []
+        self._live: Dict[int, AllocationRecord] = {}
+
+        register = self.etct.register_handler
+        register(
+            EventType.MEM_LOAD, self._on_memory_access,
+            handler_instructions=6, cacheable=True, check_category=_CC_MEM_ACCESS,
+            cacheable_fields=("address", "size"),
+        )
+        register(
+            EventType.MEM_STORE, self._on_memory_access,
+            handler_instructions=6, cacheable=True, check_category=_CC_MEM_ACCESS,
+            cacheable_fields=("address", "size"),
+        )
+        register(
+            EventType.MALLOC, self._on_malloc,
+            handler_instructions=30, invalidation=InvalidationPolicy.FLUSH_ALL,
+        )
+        register(
+            EventType.FREE, self._on_free,
+            handler_instructions=30, invalidation=InvalidationPolicy.FLUSH_ALL,
+        )
+        register(
+            EventType.REALLOC, self._on_realloc,
+            handler_instructions=45, invalidation=InvalidationPolicy.FLUSH_ALL,
+        )
+
+    def primary_map(self) -> MetadataMap:
+        return self.accessible
+
+    # ------------------------------------------------------------------ helpers
+
+    def _in_heap(self, address: int) -> bool:
+        return self._layout.heap_base <= address < self._layout.mmap_base
+
+    def is_accessible(self, address: int) -> bool:
+        """True if ``address`` may be accessed (non-heap regions always may)."""
+        if not self._in_heap(address):
+            return True
+        return self.accessible.read_bits(address, 1) == _ACCESSIBLE
+
+    # ------------------------------------------------------------------ handlers
+
+    def _on_memory_access(self, event: DeliveredEvent) -> None:
+        address = event.dest_addr if event.dest_addr is not None else event.src_addr
+        if address is None:
+            return
+        size = max(event.size, 1)
+        # One metadata probe per access (the frequent path checks the first
+        # byte's element; the slow path walks the rest of the range).
+        first_bits = self.meta_read_bits(address, 1)
+        if not self._in_heap(address):
+            return
+        if first_bits != _ACCESSIBLE or any(
+            self.accessible.read_bits(address + offset, 1) != _ACCESSIBLE
+            for offset in range(1, size)
+        ):
+            self.report(
+                ErrorKind.INVALID_ACCESS, event,
+                f"access to unallocated address {address:#x} (size {size})",
+                address=address,
+            )
+
+    def _on_malloc(self, event: DeliveredEvent) -> None:
+        address, size = event.dest_addr, event.size
+        if address is None or size <= 0:
+            return
+        record = AllocationRecord(address=address, size=size, pc=event.pc)
+        self.malloc_records.append(record)
+        self._live[address] = record
+        self.meta_fill_range(address, size, 1, _ACCESSIBLE)
+
+    def _on_free(self, event: DeliveredEvent) -> None:
+        address = event.dest_addr
+        if address is None:
+            return
+        self.free_records.append(address)
+        record = self._live.pop(address, None)
+        if record is None:
+            if any(r.address == address and r.freed for r in self.malloc_records):
+                self.report(
+                    ErrorKind.DOUBLE_FREE, event,
+                    f"double free of {address:#x}", address=address,
+                )
+            else:
+                self.report(
+                    ErrorKind.INVALID_FREE, event,
+                    f"free of address {address:#x} that was never allocated",
+                    address=address,
+                )
+            return
+        record.freed = True
+        self.meta_fill_range(record.address, record.size, 1, _INACCESSIBLE)
+
+    def _on_realloc(self, event: DeliveredEvent) -> None:
+        old_address = event.payload
+        if old_address is not None:
+            free_event = DeliveredEvent(
+                event_type=EventType.FREE, pc=event.pc, dest_addr=old_address,
+                thread_id=event.thread_id,
+            )
+            self._on_free(free_event)
+        self._on_malloc(event)
+
+    # ------------------------------------------------------------------ finalisation
+
+    def finalize(self) -> None:
+        """Report memory leaks: blocks allocated but never freed."""
+        from repro.lifeguards.reports import ErrorReport
+
+        for record in self._live.values():
+            self.reports.append(
+                ErrorReport(
+                    kind=ErrorKind.MEMORY_LEAK,
+                    lifeguard=self.name,
+                    pc=record.pc,
+                    address=record.address,
+                    message=f"{record.size} bytes allocated at {record.address:#x} never freed",
+                )
+            )

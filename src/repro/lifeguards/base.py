@@ -1,0 +1,275 @@
+"""Lifeguard base machinery: metadata mapping and the lifeguard ABC.
+
+A lifeguard in this framework is an object that
+
+* owns the shadow-memory metadata describing the monitored application,
+* registers event handlers (with their modelled instruction costs) in an
+  :class:`repro.core.etct.ETCT`,
+* translates application addresses to metadata addresses through a
+  :class:`MetadataMapper`, which uses the M-TLB's ``lma`` instruction when
+  the hardware is present and the five-instruction software sequence of
+  Figure 7 otherwise, and
+* appends :class:`repro.lifeguards.reports.ErrorReport` objects when an
+  invariant of the monitored program is violated.
+
+The mapper also records, per delivered event, how many translations were
+performed and which metadata addresses were touched, so the dispatcher can
+charge realistic lifeguard-core cycles without the handlers having to know
+anything about timing.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.etct import ETCT
+from repro.core.events import DeliveredEvent, EventType
+from repro.core.mtlb import LMAConfig, MetadataTLB
+from repro.isa.registers import NUM_GPRS
+from repro.lifeguards.reports import ErrorKind, ErrorReport
+from repro.memory.shadow import MetadataMap, TwoLevelShadowMap
+
+#: Lifeguard-space virtual address of the software level-1 table, used to
+#: model the extra memory access of a software (non-LMA) translation.
+LEVEL1_TABLE_BASE = 0x5000_0000
+
+
+@dataclass
+class EventUsage:
+    """What one event handler did, as recorded by the mapper."""
+
+    translations: int = 0
+    mtlb_misses: int = 0
+    metadata_addresses: List[int] = field(default_factory=list)
+
+
+@dataclass
+class MapperStats:
+    """Cumulative mapper statistics across the whole run."""
+
+    translations: int = 0
+    mtlb_hits: int = 0
+    mtlb_misses: int = 0
+
+
+class MetadataMapper:
+    """Application-address → metadata-address translation front-end.
+
+    When an M-TLB is attached, translations execute the ``lma`` instruction
+    (one lifeguard instruction, one cycle, no memory access on a hit); the
+    software miss handler walks the two-level map and refills with
+    ``lma_fill``.  Without an M-TLB, each translation models the
+    five-instruction software sequence of Figure 7, including the level-1
+    table load.
+    """
+
+    def __init__(self, shadow_map: MetadataMap, mtlb: Optional[MetadataTLB] = None,
+                 lma_geometry: Optional[LMAConfig] = None) -> None:
+        self.shadow_map = shadow_map
+        self.mtlb = mtlb
+        self.stats = MapperStats()
+        self._usage = EventUsage()
+        if mtlb is not None:
+            geometry = lma_geometry or _geometry_from_map(shadow_map)
+            mtlb.lma_config(geometry, miss_handler=self._miss_handler)
+
+    # ------------------------------------------------------------------ internals
+
+    def _miss_handler(self, app_address: int) -> int:
+        """Software M-TLB miss handler: compute the chunk start via the map."""
+        metadata_address = self.shadow_map.translate(app_address)
+        offset_in_chunk = 0
+        if isinstance(self.shadow_map, TwoLevelShadowMap):
+            offset_in_chunk = (
+                self.shadow_map.level2_index(app_address) * self.shadow_map.element_size
+            )
+        return metadata_address - offset_in_chunk
+
+    # ------------------------------------------------------------------ translation
+
+    def translate(self, app_address: int) -> int:
+        """Translate an application address, recording cost bookkeeping."""
+        self.stats.translations += 1
+        self._usage.translations += 1
+        if self.mtlb is not None:
+            metadata_address, hit = self.mtlb.lma(app_address)
+            if hit:
+                self.stats.mtlb_hits += 1
+            else:
+                self.stats.mtlb_misses += 1
+                self._usage.mtlb_misses += 1
+        else:
+            metadata_address = self.shadow_map.translate(app_address)
+            if isinstance(self.shadow_map, TwoLevelShadowMap):
+                level1_entry = LEVEL1_TABLE_BASE + self.shadow_map.level1_index(app_address) * 4
+                self._usage.metadata_addresses.append(level1_entry)
+        self._usage.metadata_addresses.append(metadata_address)
+        return metadata_address
+
+    # ------------------------------------------------------------------ event scoping
+
+    def begin_event(self) -> None:
+        """Start collecting usage for a new delivered event."""
+        self._usage = EventUsage()
+
+    def end_event(self) -> EventUsage:
+        """Return (and reset) the usage recorded since :meth:`begin_event`."""
+        usage = self._usage
+        self._usage = EventUsage()
+        return usage
+
+
+def _geometry_from_map(shadow_map: MetadataMap) -> LMAConfig:
+    """Derive the ``lma_config`` geometry from a two-level shadow map."""
+    if isinstance(shadow_map, TwoLevelShadowMap):
+        return LMAConfig(
+            level1_bits=shadow_map.level1_bits,
+            level2_bits=shadow_map.level2_bits,
+            element_size=shadow_map.element_size,
+        )
+    return LMAConfig()
+
+
+@dataclass(frozen=True)
+class LifeguardInfo:
+    """Static description of a lifeguard (the rows of Figure 2)."""
+
+    name: str
+    uses_it: bool
+    uses_if: bool
+    uses_lma: bool = True
+    description: str = ""
+
+
+class Lifeguard(ABC):
+    """Base class of all lifeguards.
+
+    Subclasses must:
+
+    * set the class attributes ``name``, ``uses_it`` and ``uses_if``
+      (Figure 2 applicability matrix);
+    * build their shadow maps and register their event handlers (with cost
+      annotations) in ``self.etct`` inside ``_configure()``;
+    * return their dominant shadow map from :meth:`primary_map` so the
+      mapper and the M-TLB geometry can be derived from it.
+    """
+
+    #: lifeguard name used in reports and experiment tables
+    name: str = "lifeguard"
+    #: whether Inheritance Tracking applies (propagation-style lifeguards)
+    uses_it: bool = False
+    #: whether Idempotent Filters apply (check-heavy lifeguards)
+    uses_if: bool = False
+    #: one-line description used by documentation and Figure 2
+    description: str = ""
+
+    def __init__(self) -> None:
+        self.etct = ETCT()
+        self.reports: List[ErrorReport] = []
+        self.mapper: Optional[MetadataMapper] = None
+        #: per-register metadata kept in lifeguard globals (cheap to access)
+        self.register_meta: Dict[int, int] = {reg: 0 for reg in range(NUM_GPRS)}
+        self._configure()
+
+    # ------------------------------------------------------------------ set-up
+
+    @abstractmethod
+    def _configure(self) -> None:
+        """Create shadow maps and register ETCT entries."""
+
+    @abstractmethod
+    def primary_map(self) -> MetadataMap:
+        """Return the lifeguard's dominant metadata map."""
+
+    def lma_geometry(self) -> LMAConfig:
+        """The ``lma_config`` geometry for this lifeguard's metadata layout."""
+        return _geometry_from_map(self.primary_map())
+
+    def attach_hardware(self, mtlb: Optional[MetadataTLB]) -> None:
+        """Connect the lifeguard to the consumer-core hardware (or lack of it)."""
+        self.mapper = MetadataMapper(self.primary_map(), mtlb, self.lma_geometry())
+
+    @classmethod
+    def info(cls) -> LifeguardInfo:
+        """Static applicability/description record for this lifeguard."""
+        return LifeguardInfo(
+            name=cls.name,
+            uses_it=cls.uses_it,
+            uses_if=cls.uses_if,
+            description=cls.description,
+        )
+
+    # ------------------------------------------------------------------ helpers
+
+    def _ensure_mapper(self) -> MetadataMapper:
+        if self.mapper is None:
+            # Stand-alone (non-LBA) use: software translation only.
+            self.mapper = MetadataMapper(self.primary_map(), None, None)
+        return self.mapper
+
+    def meta_read_bits(self, app_address: int, bits: int) -> int:
+        """Translate and read the per-byte bit field covering ``app_address``."""
+        mapper = self._ensure_mapper()
+        mapper.translate(app_address)
+        return self.primary_map().read_bits(app_address, bits)
+
+    def meta_write_bits(self, app_address: int, bits: int, value: int) -> None:
+        """Translate and write the per-byte bit field covering ``app_address``."""
+        mapper = self._ensure_mapper()
+        mapper.translate(app_address)
+        self.primary_map().write_bits(app_address, bits, value)
+
+    def meta_read_element(self, app_address: int) -> int:
+        """Translate and read the whole metadata element covering ``app_address``."""
+        mapper = self._ensure_mapper()
+        mapper.translate(app_address)
+        return self.primary_map().read_element(app_address)
+
+    def meta_write_element(self, app_address: int, value: int) -> None:
+        """Translate and write the whole metadata element covering ``app_address``."""
+        mapper = self._ensure_mapper()
+        mapper.translate(app_address)
+        self.primary_map().write_element(app_address, value)
+
+    def meta_fill_range(self, start: int, size: int, bits: int, value: int) -> None:
+        """Fill the per-byte field over an address range (one translation per chunk).
+
+        Rare-event handlers (``malloc``, ``free``, taint sources) fill whole
+        block ranges; real implementations translate once per level-2 chunk
+        and then use wide stores, which is what the cost bookkeeping mirrors.
+        """
+        if size <= 0:
+            return
+        mapper = self._ensure_mapper()
+        shadow = self.primary_map()
+        chunk_span = shadow.app_bytes_per_element
+        if isinstance(shadow, TwoLevelShadowMap):
+            chunk_span = (1 << shadow.level2_bits) * shadow.app_bytes_per_element
+        address = start
+        while address < start + size:
+            mapper.translate(address)
+            address += chunk_span
+        shadow.fill_bits(start, size, bits, value)
+
+    def report(self, kind: ErrorKind, event: DeliveredEvent, message: str,
+               address: Optional[int] = None) -> None:
+        """Append an error report derived from ``event``."""
+        self.reports.append(
+            ErrorReport(
+                kind=kind,
+                lifeguard=self.name,
+                pc=event.pc,
+                address=address if address is not None else event.dest_addr,
+                thread_id=event.thread_id,
+                message=message,
+            )
+        )
+
+    def reports_of(self, kind: ErrorKind) -> List[ErrorReport]:
+        """All reports of a given kind (test convenience)."""
+        return [report for report in self.reports if report.kind is kind]
+
+    def finalize(self) -> None:
+        """Hook called at the end of a monitored run (e.g. leak reporting)."""

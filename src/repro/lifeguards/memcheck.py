@@ -1,0 +1,413 @@
+"""MEMCHECK: accessibility plus uninitialised-value tracking (Table 1).
+
+MEMCHECK extends ADDRCHECK with one *initialised* bit per byte (packed with
+the accessible bit into 2 bits per application byte, so a one-byte metadata
+element covers a four-byte application word) and an initialised state per
+register.  Accessible bits are maintained at ``malloc``/``free``;
+initialised bits are set by constant writes and system-call returns and
+propagated through copies.
+
+This implementation is the *modified* MEMCHECK of Section 4.2: instead of
+lazily tracking uninitialised values through arbitrary computations, the
+sources of non-unary operations are checked eagerly (their use is reported
+immediately) and the destinations are treated as initialised.  This is the
+variant that makes unary Inheritance Tracking applicable while remaining a
+valid detector of uninitialised-value use.
+
+Acceleration applicability (Figure 2): IT, IF and LMA all apply.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.etct import InvalidationPolicy
+from repro.core.events import DeliveredEvent, EventType
+from repro.lifeguards.addrcheck import AllocationRecord
+from repro.lifeguards.base import Lifeguard
+from repro.lifeguards.reports import ErrorKind, ErrorReport
+from repro.memory.address_space import SegmentLayout
+from repro.memory.shadow import MetadataMap, TwoLevelShadowMap
+
+#: Bit positions within the 2-bit per-byte metadata field.
+_ACCESSIBLE_BIT = 0b01
+_INITIALIZED_BIT = 0b10
+
+#: Register metadata values (kept in lifeguard globals).
+_REG_INITIALIZED = 0
+_REG_UNINITIALIZED = 1
+
+#: Check categorisation shared by load and store accessibility checks.
+_CC_MEM_ACCESS = 1
+
+
+class MemCheck(Lifeguard):
+    """Detects accesses to unallocated memory and uses of uninitialised values."""
+
+    name = "MemCheck"
+    uses_it = True
+    uses_if = True
+    description = (
+        "Accessibility checking plus eager uninitialised-value propagation tracking "
+        "(2 metadata bits per application byte)."
+    )
+
+    def __init__(self, layout: Optional[SegmentLayout] = None) -> None:
+        self._layout = layout or SegmentLayout()
+        super().__init__()
+
+    # ------------------------------------------------------------------ set-up
+
+    def _configure(self) -> None:
+        #: 2 bits (accessible, initialised) per application byte
+        self.shadow = TwoLevelShadowMap(level1_bits=16, level2_bits=14, element_size=1)
+        self.malloc_records: List[AllocationRecord] = []
+        self._live: Dict[int, AllocationRecord] = {}
+
+        register = self.etct.register_handler
+        # -- checks --------------------------------------------------------
+        register(
+            EventType.MEM_LOAD, self._on_memory_access,
+            handler_instructions=6, cacheable=True, check_category=_CC_MEM_ACCESS,
+            cacheable_fields=("address", "size"),
+        )
+        register(
+            EventType.MEM_STORE, self._on_memory_access,
+            handler_instructions=6, cacheable=True, check_category=_CC_MEM_ACCESS,
+            cacheable_fields=("address", "size"),
+        )
+        register(EventType.ADDR_COMPUTE, self._on_addr_compute, handler_instructions=2)
+        register(EventType.COND_TEST, self._on_cond_test, handler_instructions=3)
+        # -- propagation ----------------------------------------------------
+        register(EventType.IMM_TO_REG, self._on_imm_to_reg, handler_instructions=1)
+        register(EventType.IMM_TO_MEM, self._on_imm_to_mem, handler_instructions=3)
+        register(EventType.REG_TO_REG, self._on_reg_to_reg, handler_instructions=2)
+        register(EventType.REG_TO_MEM, self._on_reg_to_mem, handler_instructions=3)
+        register(EventType.MEM_TO_REG, self._on_mem_to_reg, handler_instructions=3)
+        register(EventType.MEM_TO_MEM, self._on_mem_to_mem, handler_instructions=5)
+        register(EventType.DEST_REG_OP_REG, self._on_dest_reg_op_reg, handler_instructions=3)
+        register(EventType.DEST_REG_OP_MEM, self._on_dest_reg_op_mem, handler_instructions=4)
+        register(EventType.DEST_MEM_OP_REG, self._on_dest_mem_op_reg, handler_instructions=4)
+        register(EventType.OTHER, self._on_other, handler_instructions=15)
+        # -- rare events ------------------------------------------------------
+        register(
+            EventType.MALLOC, self._on_malloc,
+            handler_instructions=35, invalidation=InvalidationPolicy.FLUSH_ALL,
+        )
+        register(
+            EventType.FREE, self._on_free,
+            handler_instructions=35, invalidation=InvalidationPolicy.FLUSH_ALL,
+        )
+        register(
+            EventType.REALLOC, self._on_realloc,
+            handler_instructions=50, invalidation=InvalidationPolicy.FLUSH_ALL,
+        )
+        register(
+            EventType.SYSCALL_READ, self._on_syscall_fill,
+            handler_instructions=25, invalidation=InvalidationPolicy.FLUSH_ALL,
+        )
+        register(
+            EventType.SYSCALL_RECV, self._on_syscall_fill,
+            handler_instructions=25, invalidation=InvalidationPolicy.FLUSH_ALL,
+        )
+        register(
+            EventType.SYSCALL_WRITE, self._on_syscall_input,
+            handler_instructions=25, invalidation=InvalidationPolicy.FLUSH_ALL,
+        )
+        register(
+            EventType.SYSCALL_OTHER, self._on_syscall_input,
+            handler_instructions=25, invalidation=InvalidationPolicy.FLUSH_ALL,
+        )
+
+    def primary_map(self) -> MetadataMap:
+        return self.shadow
+
+    # ------------------------------------------------------------------ region policy
+
+    def _in_heap(self, address: int) -> bool:
+        return self._layout.heap_base <= address < self._layout.mmap_base
+
+    def _tracked_for_init(self, address: int) -> bool:
+        """Initialisation is tracked for heap and stack/mmap regions; the
+        static data and code segments are considered initialised by the loader."""
+        return address >= self._layout.heap_base
+
+    # ------------------------------------------------------------------ metadata helpers
+
+    def _read_range_bits(self, address: int, size: int) -> List[int]:
+        """Per-byte 2-bit metadata values over ``[address, address+size)``.
+
+        Reads one metadata element per covered element (as a real handler
+        would), not one per byte.
+        """
+        size = max(size, 1)
+        values: List[int] = []
+        per_element = self.shadow.app_bytes_per_element
+        address_iter = address
+        end = address + size
+        while address_iter < end:
+            element = self.meta_read_element(address_iter)
+            element_base = address_iter - (address_iter % per_element)
+            upper = min(end, element_base + per_element)
+            for byte_addr in range(address_iter, upper):
+                shift = (byte_addr % per_element) * 2
+                values.append((element >> shift) & 0b11)
+            address_iter = upper
+        return values
+
+    def _set_range_initialized(self, address: int, size: int, initialized: bool) -> None:
+        size = max(size, 1)
+        for offset in range(size):
+            byte_addr = address + offset
+            if not self._tracked_for_init(byte_addr):
+                continue
+            current = self.shadow.read_bits(byte_addr, 2)
+            if initialized:
+                current |= _INITIALIZED_BIT
+            else:
+                current &= ~_INITIALIZED_BIT
+            self.shadow.write_bits(byte_addr, 2, current)
+        # One translation per element for cost purposes.
+        self._ensure_mapper()
+        per_element = self.shadow.app_bytes_per_element
+        probe = address
+        while probe < address + size:
+            self.mapper.translate(probe)
+            probe += per_element
+
+    def _range_uninitialized(self, address: int, size: int) -> bool:
+        if not self._tracked_for_init(address):
+            return False
+        return any(
+            not (bits & _INITIALIZED_BIT) for bits in self._read_range_bits(address, size)
+        )
+
+    def _range_inaccessible(self, address: int, size: int) -> bool:
+        if not self._in_heap(address):
+            return False
+        return any(
+            not (bits & _ACCESSIBLE_BIT) for bits in self._read_range_bits(address, size)
+        )
+
+    # ------------------------------------------------------------------ check handlers
+
+    def _on_memory_access(self, event: DeliveredEvent) -> None:
+        address = event.dest_addr if event.dest_addr is not None else event.src_addr
+        if address is None:
+            return
+        if self._range_inaccessible(address, event.size):
+            self.report(
+                ErrorKind.INVALID_ACCESS, event,
+                f"access to unallocated address {address:#x}", address=address,
+            )
+
+    def _on_addr_compute(self, event: DeliveredEvent) -> None:
+        for reg in (event.base_reg, event.index_reg):
+            if reg is not None and self.register_meta.get(reg) == _REG_UNINITIALIZED:
+                self.report(
+                    ErrorKind.UNINITIALIZED_USE, event,
+                    f"uninitialised value used as address register r{reg}",
+                )
+
+    def _on_cond_test(self, event: DeliveredEvent) -> None:
+        if event.src_reg is not None and self.register_meta.get(event.src_reg) == _REG_UNINITIALIZED:
+            self.report(
+                ErrorKind.UNINITIALIZED_USE, event,
+                f"uninitialised register r{event.src_reg} used in conditional test",
+            )
+        if event.src_addr is not None and event.size and self._range_uninitialized(
+            event.src_addr, event.size
+        ):
+            self.report(
+                ErrorKind.UNINITIALIZED_USE, event,
+                f"uninitialised memory {event.src_addr:#x} used in conditional test",
+                address=event.src_addr,
+            )
+
+    # ------------------------------------------------------------------ propagation handlers
+
+    def _on_imm_to_reg(self, event: DeliveredEvent) -> None:
+        if event.dest_reg is not None:
+            self.register_meta[event.dest_reg] = _REG_INITIALIZED
+
+    def _on_imm_to_mem(self, event: DeliveredEvent) -> None:
+        if event.dest_addr is not None:
+            self._set_range_initialized(event.dest_addr, event.size, True)
+
+    def _on_reg_to_reg(self, event: DeliveredEvent) -> None:
+        if event.dest_reg is not None and event.src_reg is not None:
+            self.register_meta[event.dest_reg] = self.register_meta.get(
+                event.src_reg, _REG_INITIALIZED
+            )
+
+    def _on_reg_to_mem(self, event: DeliveredEvent) -> None:
+        if event.dest_addr is None:
+            return
+        src_state = (
+            self.register_meta.get(event.src_reg, _REG_INITIALIZED)
+            if event.src_reg is not None
+            else _REG_INITIALIZED
+        )
+        self._set_range_initialized(event.dest_addr, event.size, src_state == _REG_INITIALIZED)
+
+    def _on_mem_to_reg(self, event: DeliveredEvent) -> None:
+        if event.dest_reg is None or event.src_addr is None:
+            return
+        uninit = self._range_uninitialized(event.src_addr, event.size)
+        self.register_meta[event.dest_reg] = _REG_UNINITIALIZED if uninit else _REG_INITIALIZED
+
+    def _on_mem_to_mem(self, event: DeliveredEvent) -> None:
+        if event.dest_addr is None or event.src_addr is None:
+            return
+        size = max(event.size, 1)
+        bits = self._read_range_bits(event.src_addr, size)
+        for offset, src_bits in enumerate(bits):
+            dest_byte = event.dest_addr + offset
+            if not self._tracked_for_init(dest_byte):
+                continue
+            current = self.shadow.read_bits(dest_byte, 2)
+            if src_bits & _INITIALIZED_BIT:
+                current |= _INITIALIZED_BIT
+            else:
+                current &= ~_INITIALIZED_BIT
+            self.shadow.write_bits(dest_byte, 2, current)
+
+    def _check_nonunary_sources(self, event: DeliveredEvent, check_dest_reg: bool = True) -> None:
+        if (
+            check_dest_reg
+            and event.dest_reg is not None
+            and self.register_meta.get(event.dest_reg) == _REG_UNINITIALIZED
+        ):
+            self.report(
+                ErrorKind.UNINITIALIZED_USE, event,
+                f"uninitialised register r{event.dest_reg} used in computation",
+            )
+        if event.src_reg is not None and self.register_meta.get(event.src_reg) == _REG_UNINITIALIZED:
+            self.report(
+                ErrorKind.UNINITIALIZED_USE, event,
+                f"uninitialised register r{event.src_reg} used in computation",
+            )
+        if event.src_addr is not None and event.size and self._range_uninitialized(
+            event.src_addr, event.size
+        ):
+            self.report(
+                ErrorKind.UNINITIALIZED_USE, event,
+                f"uninitialised memory {event.src_addr:#x} used in computation",
+                address=event.src_addr,
+            )
+
+    def _on_dest_reg_op_reg(self, event: DeliveredEvent) -> None:
+        self._check_nonunary_sources(event)
+        if event.dest_reg is not None:
+            self.register_meta[event.dest_reg] = _REG_INITIALIZED
+
+    def _on_dest_reg_op_mem(self, event: DeliveredEvent) -> None:
+        self._check_nonunary_sources(event)
+        if event.dest_reg is not None:
+            self.register_meta[event.dest_reg] = _REG_INITIALIZED
+
+    def _on_dest_mem_op_reg(self, event: DeliveredEvent) -> None:
+        self._check_nonunary_sources(event, check_dest_reg=False)
+        if event.dest_addr is not None and event.size and self._range_uninitialized(
+            event.dest_addr, event.size
+        ):
+            self.report(
+                ErrorKind.UNINITIALIZED_USE, event,
+                f"uninitialised memory {event.dest_addr:#x} used in computation",
+                address=event.dest_addr,
+            )
+        if event.dest_addr is not None:
+            self._set_range_initialized(event.dest_addr, event.size, True)
+
+    def _on_other(self, event: DeliveredEvent) -> None:
+        # Slow path for instructions outside the Figure 5 taxonomy: be
+        # conservative and mark everything the instruction may have written
+        # as initialised.
+        if event.dest_reg is not None:
+            self.register_meta[event.dest_reg] = _REG_INITIALIZED
+        if event.src_reg is not None:
+            self.register_meta[event.src_reg] = _REG_INITIALIZED
+        if event.dest_addr is not None and event.size:
+            self._set_range_initialized(event.dest_addr, event.size, True)
+
+    # ------------------------------------------------------------------ rare handlers
+
+    def _on_malloc(self, event: DeliveredEvent) -> None:
+        address, size = event.dest_addr, event.size
+        if address is None or size <= 0:
+            return
+        record = AllocationRecord(address=address, size=size, pc=event.pc)
+        self.malloc_records.append(record)
+        self._live[address] = record
+        # accessible but uninitialised
+        self.meta_fill_range(address, size, 2, _ACCESSIBLE_BIT)
+
+    def _on_free(self, event: DeliveredEvent) -> None:
+        address = event.dest_addr
+        if address is None:
+            return
+        record = self._live.pop(address, None)
+        if record is None:
+            freed_before = any(r.address == address and r.freed for r in self.malloc_records)
+            kind = ErrorKind.DOUBLE_FREE if freed_before else ErrorKind.INVALID_FREE
+            self.report(kind, event, f"bad free of {address:#x}", address=address)
+            return
+        record.freed = True
+        self.meta_fill_range(record.address, record.size, 2, 0)
+
+    def _on_realloc(self, event: DeliveredEvent) -> None:
+        old_address = event.payload
+        old_record = self._live.get(old_address) if old_address is not None else None
+        preserved = min(old_record.size, event.size) if old_record is not None else 0
+        if old_address is not None:
+            self._on_free(
+                DeliveredEvent(
+                    event_type=EventType.FREE, pc=event.pc, dest_addr=old_address,
+                    thread_id=event.thread_id,
+                )
+            )
+        self._on_malloc(event)
+        if preserved and event.dest_addr is not None:
+            self._set_range_initialized(event.dest_addr, preserved, True)
+
+    def _on_syscall_fill(self, event: DeliveredEvent) -> None:
+        """read/recv return: the kernel initialised the buffer."""
+        if event.dest_addr is not None and event.size:
+            if self._range_inaccessible(event.dest_addr, event.size):
+                self.report(
+                    ErrorKind.INVALID_ACCESS, event,
+                    f"system call writes to unallocated buffer {event.dest_addr:#x}",
+                    address=event.dest_addr,
+                )
+            self._set_range_initialized(event.dest_addr, event.size, True)
+
+    def _on_syscall_input(self, event: DeliveredEvent) -> None:
+        """write/other system calls: their input buffers must be initialised."""
+        if event.dest_addr is not None and event.size:
+            if self._range_inaccessible(event.dest_addr, event.size):
+                self.report(
+                    ErrorKind.INVALID_ACCESS, event,
+                    f"system call reads unallocated buffer {event.dest_addr:#x}",
+                    address=event.dest_addr,
+                )
+            if self._range_uninitialized(event.dest_addr, event.size):
+                self.report(
+                    ErrorKind.UNINITIALIZED_USE, event,
+                    f"uninitialised buffer {event.dest_addr:#x} passed to system call",
+                    address=event.dest_addr,
+                )
+
+    # ------------------------------------------------------------------ finalisation
+
+    def finalize(self) -> None:
+        """Report leaked heap blocks."""
+        for record in self._live.values():
+            self.reports.append(
+                ErrorReport(
+                    kind=ErrorKind.MEMORY_LEAK,
+                    lifeguard=self.name,
+                    pc=record.pc,
+                    address=record.address,
+                    message=f"{record.size} bytes allocated at {record.address:#x} never freed",
+                )
+            )

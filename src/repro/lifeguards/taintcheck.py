@@ -1,0 +1,223 @@
+"""TAINTCHECK: dynamic taint analysis for overwrite exploits (Table 1).
+
+All unverified program input (``read``/``recv`` system calls) is marked
+*tainted*; taint propagates through data movement and computation; an error
+is raised when tainted data reaches a critical sink -- an indirect jump or
+call target, the format string of a printf-like call, or a system-call
+argument.
+
+Metadata is 2 taint bits per application byte packed so that one metadata
+byte covers a 4-byte application word (the packing of Section 7.1 that
+keeps frequent 4-byte operations to single-byte metadata accesses).  Per-
+register taint lives in lifeguard globals.
+
+Acceleration applicability (Figure 2): IT and LMA.  TAINTCHECK performs only
+a modest number of checks, so Idempotent Filters are not employed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.etct import InvalidationPolicy
+from repro.core.events import DeliveredEvent, EventType
+from repro.lifeguards.base import Lifeguard
+from repro.lifeguards.reports import ErrorKind
+from repro.memory.shadow import MetadataMap, TwoLevelShadowMap
+
+#: register taint values
+_CLEAN = 0
+_TAINTED = 1
+
+#: per-byte taint field width (2 bits, of which the low bit is "tainted")
+_TAINT_BITS = 2
+
+
+class TaintCheck(Lifeguard):
+    """Tracks taint propagation and flags tainted data in critical sinks."""
+
+    name = "TaintCheck"
+    uses_it = True
+    uses_if = False
+    description = (
+        "Dynamic information-flow (taint) tracking with 2 metadata bits per byte; "
+        "flags tainted jump targets, format strings and system-call arguments."
+    )
+
+    # ------------------------------------------------------------------ set-up
+
+    def _configure(self) -> None:
+        #: 2 taint bits per application byte (1-byte element per 4-byte word)
+        self.taint = TwoLevelShadowMap(level1_bits=16, level2_bits=14, element_size=1)
+
+        register = self.etct.register_handler
+        # -- propagation -----------------------------------------------------
+        register(EventType.IMM_TO_REG, self._on_imm_to_reg, handler_instructions=1)
+        register(EventType.IMM_TO_MEM, self._on_imm_to_mem, handler_instructions=3)
+        register(EventType.REG_TO_REG, self._on_reg_to_reg, handler_instructions=2)
+        register(EventType.REG_TO_MEM, self._on_reg_to_mem, handler_instructions=3)
+        register(EventType.MEM_TO_REG, self._on_mem_to_reg, handler_instructions=3)
+        register(EventType.MEM_TO_MEM, self._on_mem_to_mem, handler_instructions=5)
+        register(EventType.DEST_REG_OP_REG, self._on_dest_reg_op_reg, handler_instructions=3)
+        register(EventType.DEST_REG_OP_MEM, self._on_dest_reg_op_mem, handler_instructions=3)
+        register(EventType.DEST_MEM_OP_REG, self._on_dest_mem_op_reg, handler_instructions=4)
+        register(EventType.OTHER, self._on_other, handler_instructions=15)
+        # -- checks ------------------------------------------------------------
+        register(EventType.INDIRECT_JUMP, self._on_indirect_jump, handler_instructions=4)
+        # -- rare events ---------------------------------------------------------
+        register(EventType.MALLOC, self._on_malloc, handler_instructions=25)
+        register(EventType.SYSCALL_READ, self._on_taint_source, handler_instructions=30)
+        register(EventType.SYSCALL_RECV, self._on_taint_source, handler_instructions=30)
+        register(EventType.SYSCALL_OTHER, self._on_syscall_argument, handler_instructions=25)
+        register(EventType.PRINTF, self._on_printf, handler_instructions=25)
+
+    def primary_map(self) -> MetadataMap:
+        return self.taint
+
+    # ------------------------------------------------------------------ metadata helpers
+
+    def register_tainted(self, reg: Optional[int]) -> bool:
+        """True if register ``reg`` currently carries tainted data."""
+        return reg is not None and self.register_meta.get(reg, _CLEAN) == _TAINTED
+
+    def memory_tainted(self, address: int, size: int) -> bool:
+        """True if any byte of ``[address, address+size)`` is tainted."""
+        size = max(size, 1)
+        per_element = self.shadow_bytes_per_element
+        probe = address
+        end = address + size
+        while probe < end:
+            element = self.meta_read_element(probe)
+            element_base = probe - (probe % per_element)
+            upper = min(end, element_base + per_element)
+            for byte_addr in range(probe, upper):
+                shift = (byte_addr % per_element) * _TAINT_BITS
+                if (element >> shift) & 1:
+                    return True
+            probe = upper
+        return False
+
+    def set_memory_taint(self, address: int, size: int, tainted: bool) -> None:
+        """Set the taint of every byte in ``[address, address+size)``."""
+        self.meta_fill_range(address, max(size, 1), _TAINT_BITS, _TAINTED if tainted else _CLEAN)
+
+    @property
+    def shadow_bytes_per_element(self) -> int:
+        """Application bytes covered by one metadata element."""
+        return self.taint.app_bytes_per_element
+
+    def _set_register(self, reg: Optional[int], tainted: bool) -> None:
+        if reg is not None:
+            self.register_meta[reg] = _TAINTED if tainted else _CLEAN
+
+    # ------------------------------------------------------------------ propagation handlers
+
+    def _on_imm_to_reg(self, event: DeliveredEvent) -> None:
+        self._set_register(event.dest_reg, False)
+
+    def _on_imm_to_mem(self, event: DeliveredEvent) -> None:
+        if event.dest_addr is not None:
+            self.set_memory_taint(event.dest_addr, event.size, False)
+
+    def _on_reg_to_reg(self, event: DeliveredEvent) -> None:
+        self._set_register(event.dest_reg, self.register_tainted(event.src_reg))
+
+    def _on_reg_to_mem(self, event: DeliveredEvent) -> None:
+        if event.dest_addr is not None:
+            self.set_memory_taint(event.dest_addr, event.size, self.register_tainted(event.src_reg))
+
+    def _on_mem_to_reg(self, event: DeliveredEvent) -> None:
+        if event.src_addr is not None:
+            self._set_register(event.dest_reg, self.memory_tainted(event.src_addr, event.size))
+
+    def _on_mem_to_mem(self, event: DeliveredEvent) -> None:
+        if event.dest_addr is None or event.src_addr is None:
+            return
+        size = max(event.size, 1)
+        # Copy per-byte taint from source to destination.
+        for offset in range(size):
+            tainted = bool(self.taint.read_bits(event.src_addr + offset, _TAINT_BITS) & 1)
+            self.taint.write_bits(
+                event.dest_addr + offset, _TAINT_BITS, _TAINTED if tainted else _CLEAN
+            )
+        mapper = self._ensure_mapper()
+        per_element = self.shadow_bytes_per_element
+        probe = 0
+        while probe < size:
+            mapper.translate(event.src_addr + probe)
+            mapper.translate(event.dest_addr + probe)
+            probe += per_element
+
+    def _on_dest_reg_op_reg(self, event: DeliveredEvent) -> None:
+        tainted = self.register_tainted(event.dest_reg) or self.register_tainted(event.src_reg)
+        self._set_register(event.dest_reg, tainted)
+
+    def _on_dest_reg_op_mem(self, event: DeliveredEvent) -> None:
+        tainted = self.register_tainted(event.dest_reg)
+        if event.src_addr is not None:
+            tainted = tainted or self.memory_tainted(event.src_addr, event.size)
+        self._set_register(event.dest_reg, tainted)
+
+    def _on_dest_mem_op_reg(self, event: DeliveredEvent) -> None:
+        if event.dest_addr is None:
+            return
+        tainted = self.register_tainted(event.src_reg) or self.memory_tainted(
+            event.dest_addr, event.size
+        )
+        self.set_memory_taint(event.dest_addr, event.size, tainted)
+
+    def _on_other(self, event: DeliveredEvent) -> None:
+        # Conservative slow path: taint the destination if any named source
+        # is tainted.
+        tainted = self.register_tainted(event.src_reg)
+        if event.src_addr is not None and event.size:
+            tainted = tainted or self.memory_tainted(event.src_addr, event.size)
+        if event.dest_reg is not None:
+            self._set_register(event.dest_reg, tainted)
+        if event.dest_addr is not None and event.size:
+            self.set_memory_taint(event.dest_addr, event.size, tainted)
+
+    # ------------------------------------------------------------------ check handlers
+
+    def _on_indirect_jump(self, event: DeliveredEvent) -> None:
+        if self.register_tainted(event.src_reg):
+            self.report(
+                ErrorKind.TAINT_VIOLATION, event,
+                f"indirect jump through tainted register r{event.src_reg}",
+            )
+        if event.src_addr is not None and event.size and self.memory_tainted(
+            event.src_addr, event.size
+        ):
+            self.report(
+                ErrorKind.TAINT_VIOLATION, event,
+                f"indirect control transfer through tainted memory {event.src_addr:#x}",
+                address=event.src_addr,
+            )
+
+    # ------------------------------------------------------------------ rare handlers
+
+    def _on_malloc(self, event: DeliveredEvent) -> None:
+        if event.dest_addr is not None and event.size:
+            self.set_memory_taint(event.dest_addr, event.size, False)
+
+    def _on_taint_source(self, event: DeliveredEvent) -> None:
+        if event.dest_addr is not None and event.size:
+            self.set_memory_taint(event.dest_addr, event.size, True)
+
+    def _on_syscall_argument(self, event: DeliveredEvent) -> None:
+        if event.dest_addr is not None and event.size and self.memory_tainted(
+            event.dest_addr, event.size
+        ):
+            self.report(
+                ErrorKind.TAINT_VIOLATION, event,
+                f"tainted buffer {event.dest_addr:#x} passed as system-call argument",
+                address=event.dest_addr,
+            )
+
+    def _on_printf(self, event: DeliveredEvent) -> None:
+        if event.dest_addr is not None and self.memory_tainted(event.dest_addr, 4):
+            self.report(
+                ErrorKind.TAINT_VIOLATION, event,
+                f"tainted format string at {event.dest_addr:#x}",
+                address=event.dest_addr,
+            )

@@ -1,0 +1,25 @@
+"""Application memory substrate: sparse address space, heap allocator and
+shadow-memory (metadata) organisations.
+"""
+
+from repro.memory.address_space import AddressSpace, PAGE_SIZE, SegmentLayout
+from repro.memory.allocator import AllocationError, HeapAllocator, HeapBlock
+from repro.memory.shadow import (
+    MetadataMap,
+    OneLevelShadowMap,
+    TwoLevelShadowMap,
+    metadata_translation_cost,
+)
+
+__all__ = [
+    "AddressSpace",
+    "PAGE_SIZE",
+    "SegmentLayout",
+    "AllocationError",
+    "HeapAllocator",
+    "HeapBlock",
+    "MetadataMap",
+    "OneLevelShadowMap",
+    "TwoLevelShadowMap",
+    "metadata_translation_cost",
+]

@@ -1,0 +1,271 @@
+"""Shadow-memory (lifeguard metadata) organisations.
+
+Figure 6 of the paper contrasts two metadata designs:
+
+* **one-level**: a single contiguous metadata region that is a scaled direct
+  translation of the whole application address space; and
+* **two-level**: a page-table-like indexing structure in which the high bits
+  of the application address select a level-1 entry pointing to a lazily
+  allocated level-2 chunk of metadata elements.
+
+The paper adopts the two-level design as its flexible baseline and then
+accelerates its translation cost with the M-TLB.  Both designs are provided
+here; :func:`metadata_translation_cost` models how many lifeguard
+instructions the address translation takes with and without the ``lma``
+instruction (Figure 7: five mapping instructions collapse into one).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+ADDRESS_BITS = 32
+ADDRESS_MASK = (1 << ADDRESS_BITS) - 1
+
+#: Virtual base of the lifeguard's metadata arena.  Metadata addresses are
+#: lifeguard-space virtual addresses (Section 6.2); any base distinct from
+#: typical application segments works.
+METADATA_ARENA_BASE = 0x6000_0000
+
+
+class MetadataMap(ABC):
+    """Common interface of the metadata organisations.
+
+    A metadata *element* is the unit the structure stores per group of
+    application bytes (e.g. one byte of 2-bit taint values covering four
+    application bytes, or an 8-byte detailed-tracking record covering a
+    4-byte application word).
+    """
+
+    #: bytes of metadata stored per element
+    element_size: int
+    #: number of application bytes covered by one element
+    app_bytes_per_element: int
+
+    @abstractmethod
+    def translate(self, app_address: int) -> int:
+        """Map an application address to the metadata (lifeguard) address of
+        the element covering it, allocating backing structures on demand."""
+
+    @abstractmethod
+    def read_element(self, app_address: int) -> int:
+        """Read the integer value of the element covering ``app_address``."""
+
+    @abstractmethod
+    def write_element(self, app_address: int, value: int) -> None:
+        """Write the integer value of the element covering ``app_address``."""
+
+    def element_offset(self, app_address: int) -> int:
+        """Offset of ``app_address`` within the application range covered by
+        its element (used by lifeguards to pick sub-element bit fields)."""
+        return app_address % self.app_bytes_per_element
+
+    # -- convenience sub-element bit-field access --------------------------------
+
+    def read_bits(self, app_address: int, bits_per_app_byte: int) -> int:
+        """Read the ``bits_per_app_byte``-wide field for one application byte."""
+        element = self.read_element(app_address)
+        shift = self.element_offset(app_address) * bits_per_app_byte
+        return (element >> shift) & ((1 << bits_per_app_byte) - 1)
+
+    def write_bits(self, app_address: int, bits_per_app_byte: int, value: int) -> None:
+        """Write the ``bits_per_app_byte``-wide field for one application byte."""
+        mask = (1 << bits_per_app_byte) - 1
+        shift = self.element_offset(app_address) * bits_per_app_byte
+        element = self.read_element(app_address)
+        element = (element & ~(mask << shift)) | ((value & mask) << shift)
+        self.write_element(app_address, element)
+
+    def fill_bits(self, start: int, size: int, bits_per_app_byte: int, value: int) -> None:
+        """Set the per-byte field to ``value`` for every byte in ``[start, start+size)``.
+
+        Ranges covering whole elements are written one element at a time with
+        a replicated bit pattern, mirroring how real lifeguards fill large
+        regions (e.g. after ``malloc``) with word stores rather than per-byte
+        read-modify-writes.
+        """
+        if size <= 0:
+            return
+        value &= (1 << bits_per_app_byte) - 1
+        per_element = self.app_bytes_per_element
+        end = start + size
+        addr = start
+        # leading partial element
+        while addr < end and addr % per_element:
+            self.write_bits(addr, bits_per_app_byte, value)
+            addr += 1
+        # full elements
+        pattern = 0
+        for i in range(per_element):
+            pattern |= value << (i * bits_per_app_byte)
+        while addr + per_element <= end:
+            self.write_element(addr, pattern)
+            addr += per_element
+        # trailing partial element
+        while addr < end:
+            self.write_bits(addr, bits_per_app_byte, value)
+            addr += 1
+
+
+class TwoLevelShadowMap(MetadataMap):
+    """Page-table-like two-level metadata structure (Figure 6, right).
+
+    The 32-bit application address is split into ``level1_bits`` high bits
+    (index into the level-1 table), ``level2_bits`` middle bits (index into a
+    level-2 chunk) and the remaining low bits (offset within the application
+    range covered by one element).  Level-2 chunks are allocated lazily on
+    first touch, which is what makes the design space-efficient for sparse
+    address spaces.
+    """
+
+    def __init__(self, level1_bits: int = 16, level2_bits: int = 14, element_size: int = 1) -> None:
+        if level1_bits <= 0 or level2_bits <= 0:
+            raise ValueError("level1_bits and level2_bits must be positive")
+        if level1_bits + level2_bits > ADDRESS_BITS:
+            raise ValueError("level1_bits + level2_bits must not exceed 32")
+        if element_size not in (1, 2, 4, 8):
+            raise ValueError("element size must be 1, 2, 4 or 8 bytes")
+        self.level1_bits = level1_bits
+        self.level2_bits = level2_bits
+        self.element_size = element_size
+        self.offset_bits = ADDRESS_BITS - level1_bits - level2_bits
+        self.app_bytes_per_element = 1 << self.offset_bits
+        self._chunks: Dict[int, Dict[int, int]] = {}
+        self._chunk_bases: Dict[int, int] = {}
+        self._next_chunk_base = METADATA_ARENA_BASE
+        self.reads = 0
+        self.writes = 0
+
+    # -- index helpers -------------------------------------------------------------
+
+    def level1_index(self, app_address: int) -> int:
+        """Level-1 index (the high ``level1_bits`` bits) of an address."""
+        return (app_address & ADDRESS_MASK) >> (ADDRESS_BITS - self.level1_bits)
+
+    def level2_index(self, app_address: int) -> int:
+        """Level-2 index (the middle ``level2_bits`` bits) of an address."""
+        return ((app_address & ADDRESS_MASK) >> self.offset_bits) & ((1 << self.level2_bits) - 1)
+
+    def chunk_size_bytes(self) -> int:
+        """Size in bytes of one level-2 metadata chunk."""
+        return (1 << self.level2_bits) * self.element_size
+
+    # -- MetadataMap API -------------------------------------------------------------
+
+    def translate(self, app_address: int) -> int:
+        l1 = self.level1_index(app_address)
+        base = self._chunk_bases.get(l1)
+        if base is None:
+            base = self._next_chunk_base
+            self._chunk_bases[l1] = base
+            self._chunks[l1] = {}
+            self._next_chunk_base += self.chunk_size_bytes()
+        return base + self.level2_index(app_address) * self.element_size
+
+    def read_element(self, app_address: int) -> int:
+        self.reads += 1
+        l1 = self.level1_index(app_address)
+        chunk = self._chunks.get(l1)
+        if chunk is None:
+            return 0
+        return chunk.get(self.level2_index(app_address), 0)
+
+    def write_element(self, app_address: int, value: int) -> None:
+        self.writes += 1
+        self.translate(app_address)  # ensure the chunk exists
+        self._chunks[self.level1_index(app_address)][self.level2_index(app_address)] = value
+
+    # -- space accounting --------------------------------------------------------------
+
+    def allocated_chunks(self) -> int:
+        """Number of level-2 chunks allocated so far."""
+        return len(self._chunks)
+
+    def metadata_bytes(self) -> int:
+        """Bytes of metadata storage allocated (level-2 chunks only)."""
+        return self.allocated_chunks() * self.chunk_size_bytes()
+
+    def level1_table_bytes(self) -> int:
+        """Bytes consumed by the level-1 table (4-byte pointers)."""
+        return (1 << self.level1_bits) * 4
+
+    def touched_level1_entries(self) -> Iterator[int]:
+        """Yield the level-1 indices that have an allocated chunk."""
+        return iter(sorted(self._chunk_bases))
+
+
+class OneLevelShadowMap(MetadataMap):
+    """Flat, scale-and-offset metadata structure (Figure 6, left).
+
+    Translation is a single shift-and-add; the cost is that the metadata
+    region must linearly shadow the whole application address space, which is
+    only viable when metadata are at most as dense as application data.
+    """
+
+    def __init__(self, app_bytes_per_element: int = 4, element_size: int = 1,
+                 metadata_base: int = METADATA_ARENA_BASE) -> None:
+        if app_bytes_per_element <= 0 or element_size <= 0:
+            raise ValueError("sizes must be positive")
+        if element_size > app_bytes_per_element:
+            raise ValueError(
+                "one-level design requires metadata no denser than application data"
+            )
+        self.app_bytes_per_element = app_bytes_per_element
+        self.element_size = element_size
+        self.metadata_base = metadata_base
+        self._elements: Dict[int, int] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def translate(self, app_address: int) -> int:
+        index = (app_address & ADDRESS_MASK) // self.app_bytes_per_element
+        return self.metadata_base + index * self.element_size
+
+    def read_element(self, app_address: int) -> int:
+        self.reads += 1
+        index = (app_address & ADDRESS_MASK) // self.app_bytes_per_element
+        return self._elements.get(index, 0)
+
+    def write_element(self, app_address: int, value: int) -> None:
+        self.writes += 1
+        index = (app_address & ADDRESS_MASK) // self.app_bytes_per_element
+        self._elements[index] = value
+
+    def metadata_bytes(self) -> int:
+        """Bytes of metadata written so far (sparse backing)."""
+        return len(self._elements) * self.element_size
+
+
+@dataclass(frozen=True)
+class TranslationCost:
+    """Instruction cost of one application→metadata address translation."""
+
+    instructions: int
+    memory_accesses: int
+
+
+def metadata_translation_cost(map_kind: str, lma_enabled: bool) -> TranslationCost:
+    """Model the lifeguard instruction cost of metadata mapping.
+
+    Figure 7 shows a representative TAINTCHECK handler in which five of the
+    eight instructions perform two-level metadata mapping (including one
+    level-1 table load); with ``lma`` those five collapse into a single
+    instruction with no memory access.  The one-level design needs only a
+    shift and an add.
+
+    Args:
+        map_kind: ``"two-level"`` or ``"one-level"``.
+        lma_enabled: whether the M-TLB / ``lma`` instruction is available.
+
+    Returns:
+        The per-translation :class:`TranslationCost`.
+    """
+    if map_kind not in ("two-level", "one-level"):
+        raise ValueError(f"unknown metadata organisation: {map_kind!r}")
+    if map_kind == "one-level":
+        return TranslationCost(instructions=2, memory_accesses=0)
+    if lma_enabled:
+        return TranslationCost(instructions=1, memory_accesses=0)
+    return TranslationCost(instructions=5, memory_accesses=1)

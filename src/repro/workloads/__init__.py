@@ -1,0 +1,32 @@
+"""Workloads: synthetic analogues of the paper's benchmark programs.
+
+The paper evaluates on the SPEC2000 integer benchmarks (single-threaded
+lifeguards) and five multithreaded programs (LOCKSET, Table 3).  Neither
+suite is redistributable or runnable inside this repository, so
+:mod:`repro.workloads.spec` and :mod:`repro.workloads.multithreaded` provide
+one synthetic program per benchmark, written against the
+:mod:`repro.isa` ISA, with instruction mixes and memory behaviour chosen to
+span the same qualitative range (see DESIGN.md for the substitution
+rationale).  :mod:`repro.workloads.attacks` and :mod:`repro.workloads.bugs`
+provide the buggy/exploited programs used to validate lifeguard detection,
+and :mod:`repro.workloads.generator` provides a seeded random program
+generator for property-based testing.
+"""
+
+from repro.workloads.base import (
+    MULTITHREADED_WORKLOADS,
+    SPEC_WORKLOADS,
+    Workload,
+    get_workload,
+    workload_names,
+)
+from repro.workloads import spec as _spec  # noqa: F401  (registers SPEC workloads)
+from repro.workloads import multithreaded as _mt  # noqa: F401  (registers MT workloads)
+
+__all__ = [
+    "Workload",
+    "SPEC_WORKLOADS",
+    "MULTITHREADED_WORKLOADS",
+    "get_workload",
+    "workload_names",
+]

@@ -1,0 +1,106 @@
+"""Security-exploit scenarios for TAINTCHECK validation.
+
+The paper's TAINTCHECK targets memory-overwrite exploits: unverified input
+(network reads) propagates into a critical sink -- an indirect control
+transfer target, the format string of a printf-like call, or a system-call
+argument.  Each builder below returns a small program that performs one such
+attack through direct (unary) copying, matching the structure the paper's
+CVE study found for every overwrite vulnerability it examined, so both the
+baseline TAINTCHECK and the IT-accelerated configuration must flag it.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Cond, Imm, Mem, Reg, SyscallKind
+from repro.isa.program import Program, ProgramBuilder
+from repro.isa.registers import Register
+from repro.workloads.patterns import EAX, EBP, EBX, ECX, EDI, EDX, ESI, Patterns
+
+
+def buffer_overflow_function_pointer(overflow_bytes: int = 16) -> Program:
+    """Classic overflow: network input overruns a buffer into a function pointer.
+
+    The program allocates a 64-byte request buffer immediately followed (in
+    allocation order) by a dispatch record whose first word is a function
+    pointer.  A ``recv`` writes ``64 + overflow_bytes`` bytes through the
+    request buffer, overwriting the function pointer with attacker data; the
+    program later performs an indirect call through it.
+    """
+    b = ProgramBuilder("attack_function_pointer")
+    p = Patterns(b)
+    p.alloc(64, EBP)                       # request buffer
+    p.alloc(16, EDI)                       # dispatch record: [handler_ptr, flags...]
+    # install the legitimate handler address
+    b.mov(Reg(EBX), Imm(0x0804_8000 + 4 * 60))
+    b.mov(Mem(base=EDI), Reg(EBX))
+    b.mov(Mem(base=EDI, disp=4), Imm(0))
+    # attacker-controlled receive overruns the request buffer
+    b.syscall(SyscallKind.RECV, Reg(EBP), Imm(64 + overflow_bytes))
+    # normal-looking processing of the request
+    p.copy_array(EBP, EBP, 8, transform=False)
+    # dispatch through the (now corrupted) function pointer
+    b.mov(Reg(EAX), Mem(base=EDI))
+    b.call_indirect(Reg(EAX))
+    b.free(Reg(EBP))
+    b.free(Reg(EDI))
+    b.halt()
+    # a plausible landing pad so the program terminates cleanly if the call survives
+    b.label("handler")
+    b.ret()
+    return b.build()
+
+
+def format_string_attack() -> Program:
+    """Unverified input used directly as the format string of a printf-like call."""
+    b = ProgramBuilder("attack_format_string")
+    p = Patterns(b)
+    p.alloc(128, EBP)
+    b.syscall(SyscallKind.READ, Reg(EBP), Imm(128))
+    # log the "message" -- passing the tainted buffer as the format string
+    b.printf(Reg(EBP))
+    b.free(Reg(EBP))
+    b.halt()
+    return b.build()
+
+
+def syscall_argument_attack() -> Program:
+    """Tainted data passed as a system-call argument (e.g. a pathname)."""
+    b = ProgramBuilder("attack_syscall_argument")
+    p = Patterns(b)
+    p.alloc(64, EBP)                       # network input
+    p.alloc(64, EDI)                       # pathname buffer
+    b.push(Reg(EDI))
+    b.syscall(SyscallKind.RECV, Reg(EBP), Imm(64))
+    # copy the attacker-supplied name into the pathname buffer (unary copies)
+    p.copy_array(EBP, EDI, 16, transform=False)
+    b.pop(Reg(EDI))
+    # use the pathname in a system call
+    b.syscall(SyscallKind.OTHER, Reg(EDI), Imm(64))
+    b.free(Reg(EBP))
+    b.free(Reg(EDI))
+    b.halt()
+    return b.build()
+
+
+def benign_input_processing() -> Program:
+    """Negative control: tainted input is consumed but never reaches a sink.
+
+    TAINTCHECK must stay silent on this program.
+    """
+    b = ProgramBuilder("benign_input")
+    p = Patterns(b)
+    p.alloc(128, EBP)
+    b.syscall(SyscallKind.READ, Reg(EBP), Imm(128))
+    b.mov(Reg(EDX), Imm(0))
+    p.sum_array(EBP, 32)
+    p.free(EBP)
+    b.halt()
+    return b.build()
+
+
+#: All attack builders, keyed by scenario name (used by tests and examples).
+ATTACK_SCENARIOS = {
+    "function_pointer_overwrite": buffer_overflow_function_pointer,
+    "format_string": format_string_attack,
+    "syscall_argument": syscall_argument_attack,
+}

@@ -1,0 +1,194 @@
+"""Buggy programs used to validate lifeguard detection (Table 1 semantics).
+
+Each builder returns a program exhibiting exactly one class of bug so tests
+can assert that the responsible lifeguard reports it (and that the other
+lifeguards and configurations behave consistently).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.instructions import Cond, Imm, Mem, Reg, SyscallKind
+from repro.isa.program import Program, ProgramBuilder
+from repro.isa.registers import Register
+from repro.workloads.multithreaded import LOCK_RESULTS, SHARED_COUNTER
+from repro.workloads.patterns import EAX, EBP, EBX, ECX, EDI, EDX, ESI, Patterns
+
+
+def use_after_free() -> Program:
+    """Read from a heap block after it has been freed (ADDRCHECK/MEMCHECK)."""
+    b = ProgramBuilder("bug_use_after_free")
+    p = Patterns(b)
+    p.alloc(64, EBP)
+    p.init_array(EBP, 16, start_value=1)
+    p.free(EBP)
+    b.mov(Reg(EBX), Mem(base=EBP))          # dangling read
+    b.add(Reg(EDX), Reg(EBX))
+    b.halt()
+    return b.build()
+
+
+def heap_overflow_write() -> Program:
+    """Write one element past the end of a heap buffer (ADDRCHECK/MEMCHECK)."""
+    b = ProgramBuilder("bug_heap_overflow")
+    p = Patterns(b)
+    p.alloc(64, EBP)
+    p.init_array(EBP, 16, start_value=1)
+    b.mov(Mem(base=EBP, disp=64), Imm(0xDEAD))   # one past the end
+    p.free(EBP)
+    b.halt()
+    return b.build()
+
+
+def double_free() -> Program:
+    """Free the same heap block twice (ADDRCHECK/MEMCHECK)."""
+    b = ProgramBuilder("bug_double_free")
+    p = Patterns(b)
+    p.alloc(64, EBP)
+    p.init_array(EBP, 16, start_value=1)
+    p.free(EBP)
+    p.free(EBP)
+    b.halt()
+    return b.build()
+
+
+def invalid_free() -> Program:
+    """Free an address that was never returned by malloc (ADDRCHECK/MEMCHECK)."""
+    b = ProgramBuilder("bug_invalid_free")
+    p = Patterns(b)
+    p.alloc(64, EBP)
+    b.mov(Reg(EAX), Reg(EBP))
+    b.add(Reg(EAX), Imm(8))                 # interior pointer
+    b.free(Reg(EAX))
+    p.free(EBP)
+    b.halt()
+    return b.build()
+
+
+def memory_leak() -> Program:
+    """Allocate a block and exit without freeing it (ADDRCHECK/MEMCHECK)."""
+    b = ProgramBuilder("bug_memory_leak")
+    p = Patterns(b)
+    p.alloc(96, EBP)
+    p.init_array(EBP, 24, start_value=1)
+    b.mov(Reg(EDX), Imm(0))
+    p.sum_array(EBP, 24)
+    b.halt()                                 # no free
+    return b.build()
+
+
+def uninitialized_computation() -> Program:
+    """Use an uninitialised heap value in arithmetic (MEMCHECK, eager variant)."""
+    b = ProgramBuilder("bug_uninit_compute")
+    p = Patterns(b)
+    p.alloc(64, EBP)
+    b.mov(Reg(EBX), Mem(base=EBP, disp=16))  # load of uninitialised word (no error yet)
+    b.add(Reg(EDX), Reg(EBX))                # non-unary use -> error
+    p.free(EBP)
+    b.halt()
+    return b.build()
+
+
+def uninitialized_condition() -> Program:
+    """Branch on an uninitialised heap value (MEMCHECK)."""
+    b = ProgramBuilder("bug_uninit_branch")
+    p = Patterns(b)
+    p.alloc(64, EBP)
+    b.mov(Reg(EBX), Mem(base=EBP, disp=4))
+    b.cmp(Reg(EBX), Imm(0))
+    b.jcc(Cond.EQ, "done")
+    b.nop()
+    b.label("done")
+    p.free(EBP)
+    b.halt()
+    return b.build()
+
+
+def uninitialized_pointer_dereference() -> Program:
+    """Dereference a pointer loaded from uninitialised memory (MEMCHECK)."""
+    b = ProgramBuilder("bug_uninit_pointer")
+    p = Patterns(b)
+    p.alloc(64, EBP)
+    b.mov(Reg(ESI), Mem(base=EBP, disp=8))   # uninitialised "pointer"
+    b.mov(Reg(EBX), Mem(base=ESI, disp=0x08100000))  # dereference (kept in-bounds via disp)
+    p.free(EBP)
+    b.halt()
+    return b.build()
+
+
+def harmless_uninitialized_copy() -> Program:
+    """Copy an uninitialised struct field without using it (MEMCHECK must stay silent).
+
+    This is the padded-struct case of Section 4.2: copying uninitialised data
+    is not an error; only *using* it is.
+    """
+    b = ProgramBuilder("clean_uninit_copy")
+    p = Patterns(b)
+    p.alloc(64, EBP)
+    p.alloc(64, EDI)
+    b.mov(Reg(EBX), Mem(base=EBP, disp=12))  # load uninitialised padding
+    b.mov(Mem(base=EDI, disp=12), Reg(EBX))  # store it elsewhere, never use it
+    p.free(EBP)
+    p.free(EDI)
+    b.halt()
+    return b.build()
+
+
+# ---------------------------------------------------------------------------- races
+
+
+def _racy_thread(name: str, thread_id: int, iterations: int, use_lock: bool) -> Program:
+    b = ProgramBuilder(f"{name}_t{thread_id}")
+    p = Patterns(b)
+    b.mov(Reg(EDX), Imm(0))
+    for _ in range(iterations):
+        if use_lock:
+            b.lock(Imm(LOCK_RESULTS))
+        b.mov(Reg(EBX), Mem(disp=SHARED_COUNTER))
+        b.add(Reg(EBX), Imm(1))
+        b.mov(Mem(disp=SHARED_COUNTER), Reg(EBX))
+        if use_lock:
+            b.unlock(Imm(LOCK_RESULTS))
+        # some private work between updates
+        b.add(Reg(EDX), Imm(3))
+        b.xor(Reg(EDX), Imm(0x11))
+    b.halt()
+    return b.build()
+
+
+def racy_counter_programs(iterations: int = 12) -> List[Program]:
+    """Two threads increment a shared counter without any lock (LOCKSET race)."""
+    return [
+        _racy_thread("bug_racy_counter", 0, iterations, use_lock=False),
+        _racy_thread("bug_racy_counter", 1, iterations, use_lock=False),
+    ]
+
+
+def locked_counter_programs(iterations: int = 12) -> List[Program]:
+    """Control case: the same counter updates, consistently lock-protected."""
+    return [
+        _racy_thread("clean_locked_counter", 0, iterations, use_lock=True),
+        _racy_thread("clean_locked_counter", 1, iterations, use_lock=True),
+    ]
+
+
+def inconsistent_locking_programs(iterations: int = 10) -> List[Program]:
+    """One thread uses the lock, the other does not (LOCKSET race)."""
+    return [
+        _racy_thread("bug_inconsistent_locking", 0, iterations, use_lock=True),
+        _racy_thread("bug_inconsistent_locking", 1, iterations, use_lock=False),
+    ]
+
+
+#: Single-threaded bug builders keyed by name (used by tests and examples).
+BUG_SCENARIOS = {
+    "use_after_free": use_after_free,
+    "heap_overflow_write": heap_overflow_write,
+    "double_free": double_free,
+    "invalid_free": invalid_free,
+    "memory_leak": memory_leak,
+    "uninitialized_computation": uninitialized_computation,
+    "uninitialized_condition": uninitialized_condition,
+    "uninitialized_pointer_dereference": uninitialized_pointer_dereference,
+}

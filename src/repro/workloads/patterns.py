@@ -1,0 +1,253 @@
+"""Reusable code-generation patterns shared by the synthetic workloads.
+
+Each pattern emits a small idiom (array initialisation, reduction, copy
+loop, pointer chase, hash update, linear-congruential "random" step, leaf
+function call) into a :class:`repro.isa.program.ProgramBuilder`.  The SPEC
+and multithreaded analogues compose these blocks with different parameters
+to obtain their characteristic instruction mixes and memory behaviour.
+
+All patterns are careful to *write memory before reading it* so that clean
+workloads do not trigger MEMCHECK uninitialised-value reports, and to keep
+every access inside allocated blocks so ADDRCHECK stays quiet; the
+deliberately buggy programs live in :mod:`repro.workloads.bugs` instead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa.instructions import Cond, Imm, Mem, Reg, SyscallKind
+from repro.isa.program import ProgramBuilder
+from repro.isa.registers import Register
+
+# Short aliases for readability of the generated code.
+EAX, EBX, ECX, EDX = Register.EAX, Register.EBX, Register.ECX, Register.EDX
+ESI, EDI, EBP, ESP = Register.ESI, Register.EDI, Register.EBP, Register.ESP
+
+
+class Patterns:
+    """Pattern emitter bound to one :class:`ProgramBuilder`."""
+
+    def __init__(self, builder: ProgramBuilder) -> None:
+        self.b = builder
+        self._label_counter = 0
+
+    def fresh_label(self, stem: str) -> str:
+        """A unique label derived from ``stem``."""
+        self._label_counter += 1
+        return f"{stem}_{self._label_counter}"
+
+    # ------------------------------------------------------------------ allocation
+
+    def alloc(self, size: int, dest: Register) -> None:
+        """``dest = malloc(size)``"""
+        self.b.malloc(Imm(size))
+        if dest is not EAX:
+            self.b.mov(Reg(dest), Reg(EAX))
+
+    def free(self, reg: Register) -> None:
+        """``free(reg)``"""
+        self.b.free(Reg(reg))
+
+    def read_input(self, buffer_reg: Register, length: int,
+                   kind: SyscallKind = SyscallKind.READ) -> None:
+        """Fill ``length`` bytes at ``[buffer_reg]`` from an input system call."""
+        self.b.syscall(kind, Reg(buffer_reg), Imm(length))
+
+    # ------------------------------------------------------------------ array loops
+
+    def init_array(self, base: Register, words: int, start_value: int = 1,
+                   stride: int = 4) -> None:
+        """Store ``start_value + i`` into ``words`` consecutive words at ``[base]``.
+
+        Clobbers ESI, ECX and EBX.
+        """
+        loop = self.fresh_label("init")
+        self.b.mov(Reg(ESI), Reg(base))
+        self.b.mov(Reg(ECX), Imm(words))
+        self.b.mov(Reg(EBX), Imm(start_value))
+        self.b.label(loop)
+        self.b.mov(Mem(base=ESI), Reg(EBX))
+        # spill/reload of the loop-carried value models compiler-generated
+        # stack-local traffic (ubiquitous in real IA32 code)
+        self.b.mov(Mem(base=ESP, disp=-8), Reg(EBX))
+        self.b.mov(Reg(EBX), Mem(base=ESP, disp=-8))
+        self.b.add(Reg(EBX), Imm(1))
+        self.b.add(Reg(ESI), Imm(stride))
+        self.b.sub(Reg(ECX), Imm(1))
+        self.b.cmp(Reg(ECX), Imm(0))
+        self.b.jcc(Cond.NE, loop)
+
+    def sum_array(self, base: Register, words: int, stride: int = 4) -> None:
+        """Accumulate ``words`` consecutive words from ``[base]`` into EDX.
+
+        Clobbers ESI, ECX and EBX.
+        """
+        loop = self.fresh_label("sum")
+        self.b.mov(Reg(ESI), Reg(base))
+        self.b.mov(Reg(ECX), Imm(words))
+        self.b.label(loop)
+        self.b.mov(Reg(EBX), Mem(base=ESI))
+        self.b.add(Reg(EDX), Reg(EBX))
+        # accumulator spill/reload: compiler-style stack-local traffic
+        self.b.mov(Mem(base=ESP, disp=-8), Reg(EDX))
+        self.b.mov(Reg(EDX), Mem(base=ESP, disp=-8))
+        self.b.add(Reg(ESI), Imm(stride))
+        self.b.sub(Reg(ECX), Imm(1))
+        self.b.cmp(Reg(ECX), Imm(0))
+        self.b.jcc(Cond.NE, loop)
+
+    def copy_array(self, src: Register, dst: Register, words: int,
+                   transform: bool = False) -> None:
+        """Copy ``words`` words from ``[src]`` to ``[dst]`` element by element.
+
+        With ``transform`` an ALU operation is applied to each element on the
+        way (the compression-codec idiom).  Clobbers ESI, EDI, ECX, EBX.
+        """
+        loop = self.fresh_label("copy")
+        self.b.mov(Reg(ESI), Reg(src))
+        self.b.mov(Reg(EDI), Reg(dst))
+        self.b.mov(Reg(ECX), Imm(words))
+        self.b.label(loop)
+        self.b.mov(Reg(EBX), Mem(base=ESI))
+        # element staged through a stack temporary (compiler-style codegen)
+        self.b.mov(Mem(base=ESP, disp=-12), Reg(EBX))
+        if transform:
+            self.b.xor(Reg(EBX), Imm(0x5A5A))
+            self.b.shr(Reg(EBX), 1)
+        self.b.mov(Mem(base=EDI), Reg(EBX))
+        self.b.add(Reg(ESI), Imm(4))
+        self.b.add(Reg(EDI), Imm(4))
+        self.b.sub(Reg(ECX), Imm(1))
+        self.b.cmp(Reg(ECX), Imm(0))
+        self.b.jcc(Cond.NE, loop)
+
+    def block_copy(self, src: Register, dst: Register, bytes_: int) -> None:
+        """One ``movs`` string copy of ``bytes_`` bytes (memcpy idiom)."""
+        self.b.mov(Reg(ESI), Reg(src))
+        self.b.mov(Reg(EDI), Reg(dst))
+        self.b.movs(bytes_)
+
+    # ------------------------------------------------------------------ pointer structures
+
+    def build_chain(self, base: Register, nodes: int, node_bytes: int = 16,
+                    shuffle_stride: int = 0) -> None:
+        """Link ``nodes`` fixed-size records at ``[base]`` into a singly linked list.
+
+        Each node's first word is the address of the next node; the payload
+        words are initialised.  With ``shuffle_stride`` the successor of node
+        *i* is node ``(i + shuffle_stride) % nodes`` instead of ``i + 1``,
+        producing the cache-hostile traversal order of pointer-chasing codes
+        such as ``mcf``.  Clobbers ESI, EDI, ECX, EBX, EAX.
+        """
+        loop = self.fresh_label("link")
+        stride = shuffle_stride if shuffle_stride else 1
+        self.b.mov(Reg(ESI), Reg(base))         # current node
+        self.b.mov(Reg(ECX), Imm(nodes))
+        self.b.mov(Reg(EBX), Imm(0))             # index
+        self.b.label(loop)
+        # successor index = (index + stride) % nodes  (modulo via compare)
+        self.b.mov(Reg(EAX), Reg(EBX))
+        self.b.add(Reg(EAX), Imm(stride))
+        self.b.cmp(Reg(EAX), Imm(nodes))
+        skip = self.fresh_label("wrap")
+        self.b.jcc(Cond.LT, skip)
+        self.b.sub(Reg(EAX), Imm(nodes))
+        self.b.label(skip)
+        # successor address = base + successor * node_bytes
+        self.b.mul(Reg(EAX), Imm(node_bytes))
+        self.b.add(Reg(EAX), Reg(base))
+        self.b.mov(Mem(base=ESI), Reg(EAX))       # node->next
+        self.b.mov(Mem(base=ESI, disp=4), Reg(EBX))   # node->payload
+        self.b.mov(Mem(base=ESI, disp=8), Imm(0))     # node->cost
+        self.b.add(Reg(ESI), Imm(node_bytes))
+        self.b.add(Reg(EBX), Imm(1))
+        self.b.sub(Reg(ECX), Imm(1))
+        self.b.cmp(Reg(ECX), Imm(0))
+        self.b.jcc(Cond.NE, loop)
+
+    def chase_chain(self, base: Register, hops: int, update: bool = False) -> None:
+        """Follow ``hops`` next-pointers starting from ``[base]``.
+
+        With ``update`` each visited node's cost word is incremented (the
+        network-simplex relabelling idiom).  Clobbers ESI, ECX, EBX.
+        """
+        loop = self.fresh_label("chase")
+        self.b.mov(Reg(ESI), Reg(base))
+        self.b.mov(Reg(ECX), Imm(hops))
+        self.b.label(loop)
+        if update:
+            self.b.mov(Reg(EBX), Mem(base=ESI, disp=8))
+            self.b.add(Reg(EBX), Imm(1))
+            self.b.mov(Mem(base=ESI, disp=8), Reg(EBX))
+        self.b.mov(Reg(EBX), Mem(base=ESI, disp=4))
+        self.b.add(Reg(EDX), Reg(EBX))
+        self.b.mov(Mem(base=ESP, disp=-8), Reg(EDX))
+        self.b.mov(Reg(EDX), Mem(base=ESP, disp=-8))
+        self.b.mov(Reg(ESI), Mem(base=ESI))
+        self.b.sub(Reg(ECX), Imm(1))
+        self.b.cmp(Reg(ECX), Imm(0))
+        self.b.jcc(Cond.NE, loop)
+
+    # ------------------------------------------------------------------ hashing / pseudo-random
+
+    def lcg_step(self, value: Register, modulus_mask: int) -> None:
+        """One linear-congruential step: ``value = (value * 1103515245 + 12345) & mask``."""
+        self.b.mul(Reg(value), Imm(1103515245))
+        self.b.add(Reg(value), Imm(12345))
+        self.b.and_(Reg(value), Imm(modulus_mask))
+
+    def hash_update_loop(self, table: Register, iterations: int, table_words: int) -> None:
+        """Hash-table update loop: pseudo-random index, read-modify-write entry.
+
+        ``table_words`` must be a power of two.  Clobbers EAX, EBX, ECX, EDI.
+        """
+        if table_words & (table_words - 1):
+            raise ValueError("table_words must be a power of two")
+        loop = self.fresh_label("hash")
+        self.b.mov(Reg(ECX), Imm(iterations))
+        self.b.mov(Reg(EAX), Imm(0x1234))
+        self.b.label(loop)
+        self.lcg_step(EAX, (table_words - 1) * 4)
+        self.b.and_(Reg(EAX), Imm(~3 & 0xFFFFFFFF))
+        self.b.mov(Reg(EDI), Reg(table))
+        self.b.add(Reg(EDI), Reg(EAX))
+        self.b.mov(Reg(EBX), Mem(base=EDI))
+        self.b.add(Reg(EBX), Imm(1))
+        self.b.mov(Mem(base=EDI), Reg(EBX))
+        self.b.mov(Mem(base=ESP, disp=-16), Reg(ECX))
+        self.b.mov(Reg(ECX), Mem(base=ESP, disp=-16))
+        self.b.sub(Reg(ECX), Imm(1))
+        self.b.cmp(Reg(ECX), Imm(0))
+        self.b.jcc(Cond.NE, loop)
+
+    # ------------------------------------------------------------------ calls
+
+    def call_leaf_repeatedly(self, function_label: str, times: int) -> None:
+        """Call ``function_label`` in a counted loop (clobbers ECX)."""
+        loop = self.fresh_label("callloop")
+        self.b.mov(Reg(ECX), Imm(times))
+        self.b.label(loop)
+        self.b.push(Reg(ECX))
+        self.b.call(function_label)
+        self.b.pop(Reg(ECX))
+        self.b.sub(Reg(ECX), Imm(1))
+        self.b.cmp(Reg(ECX), Imm(0))
+        self.b.jcc(Cond.NE, loop)
+
+    def define_alu_leaf(self, function_label: str, alu_ops: int = 8) -> None:
+        """Define a leaf function performing ``alu_ops`` register computations.
+
+        Must be emitted after the ``halt`` of the main code path so it is only
+        reached through calls.
+        """
+        self.b.label(function_label)
+        self.b.mov(Reg(EAX), Imm(7))
+        for i in range(alu_ops):
+            if i % 3 == 0:
+                self.b.add(Reg(EAX), Imm(13))
+            elif i % 3 == 1:
+                self.b.xor(Reg(EAX), Imm(0x55))
+            else:
+                self.b.shl(Reg(EAX), 1)
+        self.b.ret()

@@ -1,0 +1,393 @@
+"""Synthetic analogues of the SPEC2000 integer benchmarks.
+
+Each class models the qualitative character of one SPEC CINT2000 program --
+its dominant loop idioms, allocation behaviour, working-set size and
+instruction mix -- using the shared patterns of
+:mod:`repro.workloads.patterns`.  The absolute instruction counts correspond
+to the paper's "reduced input" simulation study (tens of thousands of
+dynamic instructions at ``scale=1.0``); pass a larger ``scale`` for the
+profiling-style sweeps.
+
+All programs are *clean*: they free what they allocate, initialise memory
+before reading it and never follow tainted control flow, so any lifeguard
+error report on them is a reproduction bug (tests assert exactly that).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.instructions import Cond, Imm, Mem, Reg, SyscallKind
+from repro.isa.program import Program, ProgramBuilder
+from repro.isa.registers import Register
+from repro.workloads.base import Workload, register_spec
+from repro.workloads.patterns import EAX, EBP, EBX, ECX, EDI, EDX, ESI, Patterns
+
+
+@register_spec
+class Bzip2(Workload):
+    """bzip2: block-sorting compressor -- buffered copy/transform passes."""
+
+    name = "bzip2"
+    description = "Block compression: sequential transform passes over medium buffers."
+
+    def build_programs(self) -> List[Program]:
+        words = self.iterations(448)
+        b = ProgramBuilder(self.name)
+        p = Patterns(b)
+        p.alloc(words * 4, EBP)            # input block
+        p.alloc(words * 4, EDI)            # output block
+        b.push(Reg(EDI))                   # save the output base across the passes
+        b.mov(Reg(EDX), Imm(0))
+        p.read_input(EBP, min(words * 4, 1024))
+        p.init_array(EBP, words, start_value=3)
+        # forward transform pass (read input, write output)
+        p.copy_array(EBP, EDI, words, transform=True)
+        b.pop(Reg(EDI))
+        # reverse pass accumulates a checksum
+        p.sum_array(EDI, words)
+        p.sum_array(EBP, words)
+        p.free(EBP)
+        p.free(EDI)
+        b.halt()
+        return [b.build()]
+
+
+@register_spec
+class Crafty(Workload):
+    """crafty: chess engine -- ALU/bit-twiddling heavy with deep call chains."""
+
+    name = "crafty"
+    description = "Register-heavy evaluation functions called in a search loop."
+
+    def build_programs(self) -> List[Program]:
+        calls = self.iterations(260)
+        table_words = 256
+        b = ProgramBuilder(self.name)
+        p = Patterns(b)
+        p.alloc(table_words * 4, EBP)      # piece-square table
+        p.init_array(EBP, table_words, start_value=11)
+        b.mov(Reg(EDX), Imm(0))
+        p.call_leaf_repeatedly("evaluate", calls)
+        p.hash_update_loop(EBP, self.iterations(180), table_words)
+        p.sum_array(EBP, table_words)
+        p.free(EBP)
+        b.halt()
+        p.define_alu_leaf("evaluate", alu_ops=14)
+        return [b.build()]
+
+
+@register_spec
+class Eon(Workload):
+    """eon: ray tracer -- dense arithmetic over small vectors with many calls."""
+
+    name = "eon"
+    description = "Multiply/add dense kernels over small arrays (vector maths)."
+
+    def build_programs(self) -> List[Program]:
+        words = 192
+        passes = self.iterations(9)
+        b = ProgramBuilder(self.name)
+        p = Patterns(b)
+        p.alloc(words * 4, EBP)
+        p.alloc(words * 4, EDI)
+        p.init_array(EBP, words, start_value=5)
+        p.init_array(EDI, words, start_value=9)
+        b.mov(Reg(EDX), Imm(0))
+        for _ in range(passes):
+            loop = p.fresh_label("dot")
+            b.mov(Reg(ESI), Reg(EBP))
+            b.mov(Reg(EAX), Reg(EDI))
+            b.mov(Reg(ECX), Imm(words))
+            b.label(loop)
+            b.mov(Reg(EBX), Mem(base=ESI))
+            b.mul(Reg(EBX), Imm(3))
+            b.add(Reg(EBX), Mem(base=EAX))
+            b.mov(Mem(base=EAX), Reg(EBX))
+            b.add(Reg(EDX), Reg(EBX))
+            b.add(Reg(ESI), Imm(4))
+            b.add(Reg(EAX), Imm(4))
+            b.sub(Reg(ECX), Imm(1))
+            b.cmp(Reg(ECX), Imm(0))
+            b.jcc(Cond.NE, loop)
+        p.call_leaf_repeatedly("shade", self.iterations(80))
+        p.free(EBP)
+        p.free(EDI)
+        b.halt()
+        p.define_alu_leaf("shade", alu_ops=10)
+        return [b.build()]
+
+
+@register_spec
+class Gap(Workload):
+    """gap: computer algebra -- many small allocations and list traversal."""
+
+    name = "gap"
+    description = "Small-object allocation churn plus linked-list arithmetic."
+
+    def build_programs(self) -> List[Program]:
+        small_allocs = self.iterations(28)
+        nodes = self.iterations(220)
+        b = ProgramBuilder(self.name)
+        p = Patterns(b)
+        b.mov(Reg(EDX), Imm(0))
+        # allocation churn: allocate, initialise, accumulate and free small vectors
+        for i in range(small_allocs):
+            size_words = 12 + (i % 5) * 4
+            p.alloc(size_words * 4, EBP)
+            p.init_array(EBP, size_words, start_value=i + 1)
+            p.sum_array(EBP, size_words)
+            p.free(EBP)
+        # linked list of small records
+        p.alloc(nodes * 16, EBP)
+        p.build_chain(EBP, nodes, node_bytes=16)
+        p.chase_chain(EBP, self.iterations(400))
+        p.free(EBP)
+        b.halt()
+        return [b.build()]
+
+
+@register_spec
+class Gcc(Workload):
+    """gcc: compiler -- allocation-heavy, branchy, irregular data structures."""
+
+    name = "gcc"
+    description = "AST-like allocation churn, hash lookups and irregular branches."
+
+    def build_programs(self) -> List[Program]:
+        passes = self.iterations(22)
+        table_words = 512
+        b = ProgramBuilder(self.name)
+        p = Patterns(b)
+        p.alloc(table_words * 4, EBP)      # symbol table
+        p.init_array(EBP, table_words, start_value=1)
+        b.mov(Reg(EDX), Imm(0))
+        for i in range(passes):
+            node_words = 8 + (i % 7) * 2
+            p.alloc(node_words * 4, EDI)
+            p.init_array(EDI, node_words, start_value=i)
+            # branchy consumption of the node
+            loop = p.fresh_label("fold")
+            b.mov(Reg(ESI), Reg(EDI))
+            b.mov(Reg(ECX), Imm(node_words))
+            b.label(loop)
+            b.mov(Reg(EBX), Mem(base=ESI))
+            b.test(Reg(EBX), Imm(1))
+            odd = p.fresh_label("odd")
+            done = p.fresh_label("done")
+            b.jcc(Cond.NE, odd)
+            b.add(Reg(EDX), Reg(EBX))
+            b.jmp(done)
+            b.label(odd)
+            b.sub(Reg(EDX), Reg(EBX))
+            b.label(done)
+            b.add(Reg(ESI), Imm(4))
+            b.sub(Reg(ECX), Imm(1))
+            b.cmp(Reg(ECX), Imm(0))
+            b.jcc(Cond.NE, loop)
+            p.free(EDI)
+        p.hash_update_loop(EBP, self.iterations(260), table_words)
+        p.free(EBP)
+        b.halt()
+        return [b.build()]
+
+
+@register_spec
+class Gzip(Workload):
+    """gzip: LZ77 compressor -- sliding-window copies and hash-chain updates."""
+
+    name = "gzip"
+    description = "Byte-stream compression: window copies, hash-chain updates."
+
+    def build_programs(self) -> List[Program]:
+        words = self.iterations(384)
+        b = ProgramBuilder(self.name)
+        p = Patterns(b)
+        p.alloc(words * 4, EBP)            # window
+        p.alloc(words * 4, EDI)            # output
+        b.push(Reg(EDI))                   # save the output base across the passes
+        p.read_input(EBP, words * 4, kind=SyscallKind.READ)
+        # literal/match emission pass
+        b.mov(Reg(EDX), Imm(0))
+        p.copy_array(EBP, EDI, words, transform=True)
+        b.pop(Reg(EDI))
+        # block copies model matched-string emission
+        for _ in range(self.iterations(6)):
+            b.push(Reg(EDI))
+            p.block_copy(EBP, EDI, 256)
+            b.pop(Reg(EDI))
+        p.sum_array(EDI, words)
+        p.free(EBP)
+        p.free(EDI)
+        b.halt()
+        return [b.build()]
+
+
+@register_spec
+class Mcf(Workload):
+    """mcf: network simplex -- pointer chasing over a working set larger than L1."""
+
+    name = "mcf"
+    description = "Cache-hostile pointer chasing with in-place cost updates."
+
+    def build_programs(self) -> List[Program]:
+        nodes = self.iterations(640)
+        hops = self.iterations(1200)
+        b = ProgramBuilder(self.name)
+        p = Patterns(b)
+        p.alloc(nodes * 16, EBP)
+        b.mov(Reg(EDX), Imm(0))
+        # shuffled successor order defeats spatial locality
+        p.build_chain(EBP, nodes, node_bytes=16, shuffle_stride=max(3, nodes // 3))
+        p.chase_chain(EBP, hops, update=True)
+        p.chase_chain(EBP, hops // 2, update=False)
+        p.free(EBP)
+        b.halt()
+        return [b.build()]
+
+
+@register_spec
+class Parser(Workload):
+    """parser: link grammar parser -- byte-granularity string handling."""
+
+    name = "parser"
+    description = "Byte loads/stores over word buffers plus dictionary hashing."
+
+    def build_programs(self) -> List[Program]:
+        chars = self.iterations(700)
+        b = ProgramBuilder(self.name)
+        p = Patterns(b)
+        p.alloc(chars, EBP)                # sentence buffer (bytes)
+        p.alloc(chars, EDI)                # token buffer
+        p.read_input(EBP, chars)
+        b.mov(Reg(EDX), Imm(0))
+        # byte-wise tokenisation: load byte, classify, store transformed byte
+        loop = p.fresh_label("tok")
+        b.mov(Reg(ESI), Reg(EBP))
+        b.mov(Reg(EAX), Reg(EDI))
+        b.mov(Reg(ECX), Imm(chars))
+        b.label(loop)
+        b.mov(Reg(EBX), Mem(base=ESI, size=1))
+        b.and_(Reg(EBX), Imm(0x7F))
+        b.add(Reg(EDX), Reg(EBX))
+        b.mov(Mem(base=EAX, size=1), Reg(EBX))
+        b.add(Reg(ESI), Imm(1))
+        b.add(Reg(EAX), Imm(1))
+        b.sub(Reg(ECX), Imm(1))
+        b.cmp(Reg(ECX), Imm(0))
+        b.jcc(Cond.NE, loop)
+        p.free(EBP)
+        p.free(EDI)
+        b.halt()
+        return [b.build()]
+
+
+@register_spec
+class Twolf(Workload):
+    """twolf: placement/routing -- random swaps over a moderate table."""
+
+    name = "twolf"
+    description = "Pseudo-random read-modify-write swaps over a placement table."
+
+    def build_programs(self) -> List[Program]:
+        table_words = 1024
+        swaps = self.iterations(420)
+        b = ProgramBuilder(self.name)
+        p = Patterns(b)
+        p.alloc(table_words * 4, EBP)
+        p.init_array(EBP, table_words, start_value=17)
+        b.mov(Reg(EDX), Imm(0))
+        # swap loop: two pseudo-random cells exchanged and cost accumulated
+        loop = p.fresh_label("swap")
+        b.mov(Reg(ECX), Imm(swaps))
+        b.mov(Reg(EAX), Imm(0xBEEF))
+        b.label(loop)
+        p.lcg_step(EAX, (table_words - 1) * 4)
+        b.and_(Reg(EAX), Imm(~3 & 0xFFFFFFFF))
+        b.mov(Reg(EDI), Reg(EBP))
+        b.add(Reg(EDI), Reg(EAX))
+        b.mov(Reg(EBX), Mem(base=EDI))            # cell a
+        b.mov(Reg(ESI), Mem(base=EBP))            # cell 0
+        b.mov(Mem(base=EDI), Reg(ESI))
+        b.mov(Mem(base=EBP), Reg(EBX))
+        b.add(Reg(EDX), Reg(EBX))
+        b.sub(Reg(ECX), Imm(1))
+        b.cmp(Reg(ECX), Imm(0))
+        b.jcc(Cond.NE, loop)
+        p.sum_array(EBP, table_words)
+        p.free(EBP)
+        b.halt()
+        return [b.build()]
+
+
+@register_spec
+class Vortex(Workload):
+    """vortex: object database -- object allocation and memcpy-style movement."""
+
+    name = "vortex"
+    description = "Object store: allocation, block copies between records, lookups."
+
+    def build_programs(self) -> List[Program]:
+        objects = self.iterations(26)
+        object_words = 32
+        b = ProgramBuilder(self.name)
+        p = Patterns(b)
+        p.alloc(objects * 4, EBP)          # object pointer table
+        b.mov(Reg(EDX), Imm(0))
+        p.init_array(EBP, objects, start_value=0)
+        for i in range(objects):
+            p.alloc(object_words * 4, EDI)
+            p.init_array(EDI, object_words, start_value=i * 3)
+            b.mov(Reg(EAX), Reg(EBP))
+            b.mov(Mem(base=EAX, disp=i * 4), Reg(EDI))
+        # block copies shuffle records (transaction processing)
+        for i in range(self.iterations(14)):
+            src_slot = (i * 7) % objects
+            dst_slot = (i * 11 + 3) % objects
+            b.mov(Reg(ESI), Mem(base=EBP, disp=src_slot * 4))
+            b.mov(Reg(EDI), Mem(base=EBP, disp=dst_slot * 4))
+            b.movs(object_words * 4)
+        # free all objects through the table
+        for i in range(objects):
+            b.mov(Reg(EAX), Mem(base=EBP, disp=i * 4))
+            b.free(Reg(EAX))
+        p.free(EBP)
+        b.halt()
+        return [b.build()]
+
+
+@register_spec
+class Vpr(Workload):
+    """vpr: FPGA place & route -- grid neighbourhood updates."""
+
+    name = "vpr"
+    description = "2-D grid relaxation: neighbour reads, centre writes, cost sums."
+
+    def build_programs(self) -> List[Program]:
+        side = 24
+        sweeps = self.iterations(7)
+        words = side * side
+        b = ProgramBuilder(self.name)
+        p = Patterns(b)
+        p.alloc(words * 4, EBP)
+        p.init_array(EBP, words, start_value=2)
+        b.mov(Reg(EDX), Imm(0))
+        for _ in range(sweeps):
+            loop = p.fresh_label("relax")
+            b.mov(Reg(ESI), Reg(EBP))
+            b.add(Reg(ESI), Imm(side * 4))          # start at row 1
+            b.mov(Reg(ECX), Imm(words - 2 * side))
+            b.label(loop)
+            b.mov(Reg(EBX), Mem(base=ESI, disp=-side * 4 & 0xFFFFFFFF))
+            b.add(Reg(EBX), Mem(base=ESI, disp=side * 4))
+            b.shr(Reg(EBX), 1)
+            b.mov(Mem(base=ESI), Reg(EBX))
+            b.add(Reg(EDX), Reg(EBX))
+            b.add(Reg(ESI), Imm(4))
+            b.sub(Reg(ECX), Imm(1))
+            b.cmp(Reg(ECX), Imm(0))
+            b.jcc(Cond.NE, loop)
+        p.sum_array(EBP, words)
+        p.free(EBP)
+        b.halt()
+        return [b.build()]

@@ -1,0 +1,92 @@
+"""Tests for the cache model and the memory hierarchy."""
+
+import pytest
+
+from repro.cache.cache import Cache
+from repro.cache.hierarchy import AccessType, MemoryHierarchy
+from repro.core.config import CacheConfig, MemoryHierarchyConfig
+
+
+class TestCache:
+    def make(self, size=1024, line=64, ways=2):
+        return Cache(CacheConfig(size, line, ways, 1))
+
+    def test_miss_then_hit(self):
+        cache = self.make()
+        assert cache.access(0x1000) is False
+        assert cache.access(0x1000) is True
+
+    def test_same_line_hits(self):
+        cache = self.make()
+        cache.access(0x1000)
+        assert cache.access(0x103F) is True
+        assert cache.access(0x1040) is False
+
+    def test_lru_eviction_within_set(self):
+        cache = self.make(size=256, line=64, ways=2)   # 2 sets, 2 ways
+        num_sets = cache.config.num_sets
+        base = 0x0
+        stride = num_sets * 64                          # same set, different tags
+        cache.access(base)
+        cache.access(base + stride)
+        cache.access(base)                              # refresh first line
+        cache.access(base + 2 * stride)                 # evicts the second line
+        assert cache.contains(base)
+        assert not cache.contains(base + stride)
+
+    def test_dirty_eviction_counts_writeback(self):
+        cache = self.make(size=128, line=64, ways=1)    # direct mapped, 2 sets
+        stride = cache.config.num_sets * 64
+        cache.access(0x0, is_write=True)
+        cache.access(stride)                            # evicts dirty line
+        assert cache.stats.writebacks == 1
+
+    def test_access_range_spanning_lines(self):
+        cache = self.make()
+        misses = cache.access_range(0x1030, 64)
+        assert misses == 2
+
+    def test_invalidate_all(self):
+        cache = self.make()
+        cache.access(0x1000)
+        cache.invalidate_all()
+        assert cache.resident_lines() == 0
+
+    def test_miss_rate(self):
+        cache = self.make()
+        cache.access(0x0)
+        cache.access(0x0)
+        assert cache.stats.miss_rate == pytest.approx(0.5)
+
+
+class TestHierarchy:
+    def test_latencies_by_level(self):
+        hierarchy = MemoryHierarchy(MemoryHierarchyConfig(), num_cores=2)
+        cold = hierarchy.access(0, 0x1000, AccessType.DATA_READ)
+        warm = hierarchy.access(0, 0x1000, AccessType.DATA_READ)
+        assert cold == 1 + 10 + 200
+        assert warm == 1
+
+    def test_l2_shared_between_cores(self):
+        hierarchy = MemoryHierarchy(num_cores=2)
+        hierarchy.access(0, 0x2000, AccessType.DATA_READ)
+        # core 1 misses its private L1 but hits the shared L2
+        latency = hierarchy.access(1, 0x2000, AccessType.DATA_READ)
+        assert latency == 1 + 10
+
+    def test_instruction_fetch_uses_l1i(self):
+        hierarchy = MemoryHierarchy(num_cores=1)
+        hierarchy.access(0, 0x8048000, AccessType.INSTRUCTION_FETCH)
+        assert hierarchy.core(0).l1i.stats.accesses == 1
+        assert hierarchy.core(0).l1d.stats.accesses == 0
+
+    def test_private_l1_per_core(self):
+        hierarchy = MemoryHierarchy(num_cores=2)
+        hierarchy.access(0, 0x3000, AccessType.DATA_WRITE)
+        assert hierarchy.core(1).l1d.stats.accesses == 0
+
+    def test_miss_rate_helper(self):
+        hierarchy = MemoryHierarchy(num_cores=1)
+        hierarchy.access(0, 0x1000, AccessType.DATA_READ)
+        hierarchy.access(0, 0x1000, AccessType.DATA_READ)
+        assert hierarchy.total_l1_miss_rate(0) == pytest.approx(0.5)

@@ -1,0 +1,107 @@
+"""Tests for the event taxonomy and record types."""
+
+from repro.core.events import (
+    AnnotationRecord,
+    DeliveredEvent,
+    EventClass,
+    EventType,
+    InstructionRecord,
+)
+
+
+class TestEventTaxonomy:
+    def test_propagation_events_match_figure5(self):
+        expected = {
+            "imm_to_reg", "imm_to_mem", "reg_self", "mem_self", "reg_to_reg",
+            "reg_to_mem", "mem_to_reg", "mem_to_mem", "dest_reg_op_reg",
+            "dest_reg_op_mem", "dest_mem_op_reg", "other",
+        }
+        actual = {e.value for e in EventType if e.is_propagation}
+        assert actual == expected
+
+    def test_check_events(self):
+        checks = {e for e in EventType if e.is_check}
+        assert EventType.MEM_LOAD in checks
+        assert EventType.MEM_STORE in checks
+        assert EventType.ADDR_COMPUTE in checks
+        assert EventType.COND_TEST in checks
+        assert EventType.INDIRECT_JUMP in checks
+
+    def test_rare_events(self):
+        assert EventType.MALLOC.is_rare
+        assert EventType.FREE.is_rare
+        assert EventType.SYSCALL_READ.is_rare
+        assert not EventType.MEM_LOAD.is_rare
+        assert not EventType.REG_TO_MEM.is_rare
+
+    def test_control_is_neutral(self):
+        assert EventType.CONTROL.event_class is EventClass.NEUTRAL
+        assert not EventType.CONTROL.is_propagation
+        assert not EventType.CONTROL.is_check
+        assert not EventType.CONTROL.is_rare
+
+    def test_event_class_partition(self):
+        for event_type in EventType:
+            classes = [
+                event_type.is_propagation,
+                event_type.is_check,
+                event_type.is_rare,
+                event_type.event_class is EventClass.NEUTRAL,
+            ]
+            assert sum(classes) == 1, event_type
+
+
+class TestInstructionRecord:
+    def test_memory_range_prefers_store(self):
+        record = InstructionRecord(
+            pc=0x1000, event_type=EventType.MEM_TO_MEM,
+            dest_addr=0x2000, src_addr=0x3000, size=4, is_load=True, is_store=True,
+        )
+        assert record.memory_range() == (0x2000, 4)
+
+    def test_memory_range_load_only(self):
+        record = InstructionRecord(
+            pc=0x1000, event_type=EventType.MEM_TO_REG, src_addr=0x3000, size=2, is_load=True,
+        )
+        assert record.memory_range() == (0x3000, 2)
+
+    def test_memory_range_none(self):
+        record = InstructionRecord(pc=0x1000, event_type=EventType.REG_TO_REG)
+        assert record.memory_range() is None
+
+    def test_records_are_frozen(self):
+        record = InstructionRecord(pc=0, event_type=EventType.REG_TO_REG)
+        try:
+            record.pc = 5
+            assert False, "record should be immutable"
+        except AttributeError:
+            pass
+
+
+class TestDeliveredEvent:
+    def test_from_instruction_copies_fields(self):
+        record = InstructionRecord(
+            pc=0x42, event_type=EventType.MEM_TO_REG, dest_reg=1, src_addr=0x100,
+            size=4, is_load=True, thread_id=3,
+        )
+        event = DeliveredEvent.from_instruction(record)
+        assert event.event_type is EventType.MEM_TO_REG
+        assert event.pc == 0x42
+        assert event.dest_reg == 1
+        assert event.src_addr == 0x100
+        assert event.thread_id == 3
+        assert event.origin is record
+
+    def test_from_instruction_with_override(self):
+        record = InstructionRecord(pc=1, event_type=EventType.REG_TO_MEM, dest_addr=8, size=4)
+        event = DeliveredEvent.from_instruction(record, EventType.IMM_TO_MEM)
+        assert event.event_type is EventType.IMM_TO_MEM
+        assert event.dest_addr == 8
+
+    def test_from_annotation(self):
+        record = AnnotationRecord(EventType.MALLOC, address=0x9000, size=64, thread_id=1, pc=7)
+        event = DeliveredEvent.from_annotation(record)
+        assert event.event_type is EventType.MALLOC
+        assert event.dest_addr == 0x9000
+        assert event.size == 64
+        assert event.thread_id == 1

@@ -1,0 +1,142 @@
+"""Tests for the LBA substrate: records, buffer, timing coupling, platform."""
+
+import pytest
+
+from repro.core.config import BASELINE_CONFIG, OPTIMIZED_CONFIG, LogBufferConfig, SystemConfig
+from repro.core.events import AnnotationRecord, EventType, InstructionRecord
+from repro.isa.machine import Machine
+from repro.lba.log_buffer import LogBuffer
+from repro.lba.capture import LogProducer
+from repro.lba.platform import LBASystem, run_unmonitored
+from repro.lba.record import encoded_record_size
+from repro.lba.timing import CouplingModel
+from repro.lifeguards import AddrCheck, MemCheck, TaintCheck
+from tests.conftest import build_copy_loop
+
+
+class TestRecordSize:
+    def test_instruction_records_under_a_byte(self):
+        record = InstructionRecord(pc=1, event_type=EventType.REG_TO_REG, dest_reg=0, src_reg=1)
+        assert encoded_record_size(record) <= 1.5
+
+    def test_memory_records_cost_more(self):
+        plain = InstructionRecord(pc=1, event_type=EventType.REG_TO_REG)
+        memory = InstructionRecord(pc=1, event_type=EventType.MEM_TO_MEM,
+                                   dest_addr=1, src_addr=2, size=4)
+        assert encoded_record_size(memory) > encoded_record_size(plain)
+
+    def test_annotation_records_fixed_size(self):
+        assert encoded_record_size(AnnotationRecord(EventType.MALLOC, address=1, size=4)) == 8.0
+
+
+class TestLogBuffer:
+    def test_push_pop_fifo(self):
+        buffer = LogBuffer(LogBufferConfig(size_bytes=1024))
+        records = [InstructionRecord(pc=i, event_type=EventType.REG_TO_REG) for i in range(5)]
+        for record in records:
+            assert buffer.push(record)
+        assert [buffer.pop().pc for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_full_buffer_rejects_and_counts_stall(self):
+        buffer = LogBuffer(LogBufferConfig(size_bytes=16))
+        record = AnnotationRecord(EventType.MALLOC, address=1, size=1)
+        pushed = 0
+        while buffer.push(record):
+            pushed += 1
+        assert pushed == 2
+        assert buffer.stats.producer_stalls == 1
+
+    def test_empty_pop_counts_stall(self):
+        buffer = LogBuffer()
+        assert buffer.pop() is None
+        assert buffer.stats.consumer_stalls == 1
+
+    def test_occupancy_tracking(self):
+        buffer = LogBuffer()
+        buffer.push(InstructionRecord(pc=0, event_type=EventType.REG_TO_REG))
+        assert buffer.occupancy_bytes > 0
+        buffer.pop()
+        assert buffer.occupancy_bytes == 0
+
+
+class TestCouplingModel:
+    def test_fast_lifeguard_tracks_application(self):
+        model = CouplingModel(buffer_capacity_records=1000)
+        for _ in range(100):
+            model.observe(app_cost=2, lifeguard_cost=1)
+        breakdown = model.finish()
+        assert breakdown.slowdown == pytest.approx(1.0, abs=0.05)
+
+    def test_slow_lifeguard_dominates(self):
+        model = CouplingModel(buffer_capacity_records=10)
+        for _ in range(100):
+            model.observe(app_cost=1, lifeguard_cost=5)
+        breakdown = model.finish()
+        assert breakdown.slowdown == pytest.approx(5.0, rel=0.1)
+        assert breakdown.producer_stall_cycles > 0
+
+    def test_syscall_barrier_stalls_application(self):
+        model = CouplingModel(buffer_capacity_records=1000)
+        for _ in range(50):
+            model.observe(app_cost=1, lifeguard_cost=4)
+        before = model.breakdown.app_finish_cycles
+        model.observe(app_cost=1, lifeguard_cost=4, syscall_barrier=True)
+        assert model.breakdown.syscall_stall_cycles > 0
+        assert model.breakdown.app_finish_cycles > before + 1
+
+    def test_buffer_capacity_limits_decoupling(self):
+        small = CouplingModel(buffer_capacity_records=2)
+        large = CouplingModel(buffer_capacity_records=10_000)
+        for _ in range(200):
+            small.observe(1, 3)
+            large.observe(1, 3)
+        assert small.breakdown.application_slowdown > large.breakdown.application_slowdown
+
+
+class TestProducer:
+    def test_producer_counts_costs(self):
+        producer = LogProducer(Machine(build_copy_loop()))
+        stream = list(producer.stream())
+        assert producer.stats.records == len(stream)
+        assert producer.stats.app_cycles >= producer.stats.instructions
+        assert producer.stats.log_bytes > 0
+
+
+class TestPlatform:
+    def test_monitored_run_produces_result(self):
+        system = LBASystem(Machine(build_copy_loop()), AddrCheck(), OPTIMIZED_CONFIG)
+        result = system.run("opt")
+        assert result.slowdown >= 1.0
+        assert result.dispatch.events_handled > 0
+        assert result.errors_detected == 0
+        assert result.workload == "copy_loop"
+
+    def test_baseline_slower_than_optimized(self):
+        base = LBASystem(Machine(build_copy_loop(64)), MemCheck(), BASELINE_CONFIG).run("base")
+        opt = LBASystem(Machine(build_copy_loop(64)), MemCheck(), OPTIMIZED_CONFIG).run("opt")
+        assert base.slowdown > opt.slowdown
+
+    def test_technique_gating_follows_figure2(self):
+        system = LBASystem(Machine(build_copy_loop()), AddrCheck(), OPTIMIZED_CONFIG)
+        assert system.accelerator.it is None          # AddrCheck does not use IT
+        assert system.accelerator.idempotent_filter is not None
+        system = LBASystem(Machine(build_copy_loop()), TaintCheck(), OPTIMIZED_CONFIG)
+        assert system.accelerator.it is not None
+        assert system.accelerator.idempotent_filter is None
+
+    def test_baseline_config_disables_all_hardware(self):
+        system = LBASystem(Machine(build_copy_loop()), MemCheck(), BASELINE_CONFIG)
+        assert system.accelerator.it is None
+        assert system.accelerator.idempotent_filter is None
+        assert system.accelerator.mtlb is None
+
+    def test_mtlb_used_when_lma_enabled(self):
+        system = LBASystem(Machine(build_copy_loop(64)), AddrCheck(), OPTIMIZED_CONFIG)
+        result = system.run()
+        assert result.mapper.mtlb_hits + result.mapper.mtlb_misses == result.mapper.translations
+        assert result.mapper.mtlb_hits > 0
+
+    def test_run_unmonitored_matches_app_alone(self):
+        cycles = run_unmonitored(Machine(build_copy_loop(32)))
+        monitored = LBASystem(Machine(build_copy_loop(32)), AddrCheck(), OPTIMIZED_CONFIG).run()
+        assert cycles == pytest.approx(monitored.timing.app_alone_cycles, rel=0.05)
