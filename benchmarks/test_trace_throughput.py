@@ -1,0 +1,101 @@
+"""Trace-subsystem throughput: codec rate and sequential-vs-parallel replay.
+
+Records the encode/decode records-per-second of the binary codec and the
+speedup of sharded parallel replay over the equivalent sequential sharded
+replay, so future PRs have a perf trajectory for the trace path.
+"""
+
+import os
+
+import pytest
+
+from benchmarks.bench_params import BENCH_SCALE
+
+from repro.core.events import EventType, InstructionRecord
+from repro.experiments.harness import capture_trace
+from repro.trace.codec import RecordEncoder, decode_records, encode_records
+from repro.trace.replay import ParallelReplay
+from repro.trace.tracefile import TraceReader
+
+_RECORDS = 20_000
+
+
+def _loop_records(count=_RECORDS):
+    """A loop-like stream: small pc/address deltas, the codec's common case."""
+    return [
+        InstructionRecord(
+            pc=0x0804_8000 + 4 * (i % 64),
+            event_type=EventType.MEM_TO_REG if i % 3 else EventType.REG_TO_MEM,
+            dest_reg=i % 8,
+            src_reg=(i + 1) % 8,
+            src_addr=0x0900_0000 + (i % 512) * 4,
+            dest_addr=0x0904_0000 + (i % 512) * 4,
+            size=4,
+            is_load=bool(i % 3),
+            is_store=not i % 3,
+        )
+        for i in range(count)
+    ]
+
+
+def test_codec_encode_throughput(benchmark):
+    records = _loop_records()
+
+    def run():
+        encoder = RecordEncoder()
+        total = 0
+        for record in records:
+            total += len(encoder.encode(record))
+        return total
+
+    total_bytes = benchmark(run)
+    rate = len(records) / benchmark.stats.stats.mean
+    benchmark.extra_info["records_per_second"] = round(rate)
+    benchmark.extra_info["bytes_per_record"] = round(total_bytes / len(records), 2)
+
+
+def test_codec_decode_throughput(benchmark):
+    records = _loop_records()
+    data = encode_records(records)
+
+    def run():
+        return len(decode_records(data, expected_count=len(records)))
+
+    count = benchmark(run)
+    assert count == len(records)
+    rate = len(records) / benchmark.stats.stats.mean
+    benchmark.extra_info["records_per_second"] = round(rate)
+
+
+@pytest.fixture(scope="module")
+def captured_trace(tmp_path_factory):
+    """One banked mcf trace shared by the replay benchmarks."""
+    path = os.path.join(tmp_path_factory.mktemp("traces"), "mcf.lbatrace")
+    stats = capture_trace("mcf", path, scale=BENCH_SCALE, chunk_bytes=8 * 1024)
+    with TraceReader(path) as reader:
+        assert reader.num_chunks >= 2  # sharding needs at least two chunks
+    return path, stats.records
+
+
+def test_replay_sequential_throughput(benchmark, captured_trace):
+    path, records = captured_trace
+    replay = ParallelReplay(path, "TaintCheck", workers=2)
+
+    result = benchmark.pedantic(replay.run_sequential, rounds=3, iterations=1)
+    assert result.records == records
+    benchmark.extra_info["records_per_second"] = round(records / benchmark.stats.stats.mean)
+
+
+def test_replay_parallel_speedup(benchmark, captured_trace):
+    path, records = captured_trace
+    replay = ParallelReplay(path, "TaintCheck", workers=2)
+    sequential = replay.run_sequential()
+
+    result = benchmark.pedantic(replay.run, rounds=3, iterations=1)
+    assert result.records == records
+    assert result.dispatch == sequential.dispatch
+    benchmark.extra_info["records_per_second"] = round(records / benchmark.stats.stats.mean)
+    if sequential.wall_seconds:
+        benchmark.extra_info["speedup_vs_sequential"] = round(
+            sequential.wall_seconds / benchmark.stats.stats.mean, 2
+        )

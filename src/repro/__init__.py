@@ -13,6 +13,8 @@ Typical entry points:
 
 * :class:`repro.lba.platform.LBASystem` -- run a workload under a lifeguard
   with a chosen acceleration configuration and obtain slowdowns.
+* :mod:`repro.trace` -- serialize the log into chunked trace files and
+  replay them offline (sequentially or sharded across worker processes).
 * :mod:`repro.experiments` -- regenerate every table and figure of the
   paper's evaluation section.
 * :mod:`repro.analysis` -- the PIN-analogue profiling study (design-space

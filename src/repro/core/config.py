@@ -162,6 +162,18 @@ class SystemConfig:
             )
         return new
 
+    def gated_for(self, lifeguard) -> "SystemConfig":
+        """Gate IT and IF on a lifeguard's declared applicability (Figure 2).
+
+        ``lifeguard`` is any object exposing ``uses_it``/``uses_if`` (a
+        :class:`repro.lifeguards.base.Lifeguard` instance or class); the
+        live platform and the offline trace replay share this policy.
+        """
+        return self.with_techniques(
+            it=self.it.enabled and lifeguard.uses_it,
+            idempotent_filter=self.idempotent_filter.enabled and lifeguard.uses_if,
+        )
+
 
 #: Baseline LBA configuration: no acceleration technique enabled.
 BASELINE_CONFIG = SystemConfig().with_techniques(lma=False, it=False, idempotent_filter=False)

@@ -1,11 +1,21 @@
-"""Shared helpers for the figure-regeneration experiments."""
+"""Shared helpers for the figure-regeneration experiments.
+
+Besides the live-run helpers this module provides the capture-once /
+replay-many path: :func:`capture_trace` executes a workload a single time
+while serializing its log into a chunked trace file, and
+:func:`replay_captured` re-analyses that stored trace with any lifeguard
+(optionally sharded across worker processes) without re-running the ISA
+machine.
+"""
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Type
+from typing import Dict, List, Optional, Sequence, Tuple, Type, Union
 
 from repro.core.config import SystemConfig
+from repro.lba.capture import LogProducer
 from repro.lba.platform import LBASystem, MonitoringResult
 from repro.lifeguards import (
     ALL_LIFEGUARDS,
@@ -16,6 +26,8 @@ from repro.lifeguards import (
     TaintCheckDetailed,
 )
 from repro.lifeguards.base import Lifeguard
+from repro.trace.replay import ParallelReplay, ReplayResult, replay_trace
+from repro.trace.tracefile import TraceStats, TraceWriter
 from repro.workloads.base import get_workload, workload_names
 
 #: Technique stacks applied one by one, per lifeguard (the bars of Figure 11).
@@ -83,3 +95,54 @@ def lifeguard_classes(names: Optional[Sequence[str]] = None) -> List[Type[Lifegu
     if names is None:
         return list(ALL_LIFEGUARDS.values())
     return [ALL_LIFEGUARDS[name] for name in names]
+
+
+# --------------------------------------------------------------- trace capture
+
+
+def trace_path_for(trace_dir: Union[str, os.PathLike], benchmark: str) -> str:
+    """Canonical on-disk location of a benchmark's captured trace."""
+    return os.path.join(os.fspath(trace_dir), f"{benchmark}.lbatrace")
+
+
+def capture_trace(
+    benchmark: str,
+    path: Union[str, os.PathLike],
+    scale: float = 1.0,
+    compress: bool = True,
+    chunk_bytes: int = 64 * 1024,
+    max_instructions: int = 5_000_000,
+) -> TraceStats:
+    """Run a workload once, capturing its full log into a trace file.
+
+    The capture run needs no lifeguard and no cache hierarchy -- only the
+    functional record stream matters -- so it is the cheapest way to bank a
+    workload for repeated offline analysis.
+    """
+    workload = get_workload(benchmark, scale=scale)
+    machine = workload.build_machine()
+    with TraceWriter(path, chunk_bytes=chunk_bytes, compress=compress) as writer:
+        producer = LogProducer(
+            machine, None, max_instructions=max_instructions, trace_writer=writer
+        )
+        for _record, _cost in producer.stream():
+            pass
+    return writer.stats
+
+
+def replay_captured(
+    path: Union[str, os.PathLike],
+    lifeguard: Union[str, Type[Lifeguard]],
+    config: Optional[SystemConfig] = None,
+    workers: int = 1,
+) -> ReplayResult:
+    """Replay a captured trace through a lifeguard (replay-many path).
+
+    ``workers > 1`` shards the trace's chunks across processes, each with a
+    private lifeguard instance, and merges stats and reports; ``workers ==
+    1`` is the faithful single-consumer replay that reproduces the live
+    run's reports and event counts exactly.
+    """
+    if workers <= 1:
+        return replay_trace(os.fspath(path), lifeguard, config)
+    return ParallelReplay(os.fspath(path), lifeguard, config, workers=workers).run()

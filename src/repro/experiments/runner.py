@@ -5,11 +5,20 @@ Installed as the ``repro-experiments`` console script::
     repro-experiments                # run everything at the default scale
     repro-experiments --quick        # smaller benchmark subset, faster
     repro-experiments --output out.txt
+
+Capture-once/replay-many: workloads can be executed a single time into
+chunked trace files, then re-analysed repeatedly (and in parallel) without
+re-running them::
+
+    repro-experiments --capture-traces traces/          # bank the workloads
+    repro-experiments --replay-traces traces/ --workers 4
 """
 
 from __future__ import annotations
 
 import argparse
+import glob
+import os
 import sys
 import time
 from typing import List, Optional, Sequence
@@ -21,10 +30,62 @@ from repro.experiments.figure11 import format_figure11, run_figure11
 from repro.experiments.figure12 import format_figure12, run_figure12
 from repro.experiments.figure13 import format_figure13, run_figure13
 from repro.experiments.figure14 import format_figure14, run_figure14
+from repro.experiments.harness import capture_trace, replay_captured, trace_path_for
+from repro.workloads.base import workload_names
 
 #: Benchmark subset used by ``--quick`` (spans memory-bound and CPU-bound).
 QUICK_SPEC = ("bzip2", "gcc", "mcf", "crafty")
 QUICK_MT = ("pbzip2", "water_nq")
+
+#: Lifeguards replayed over stored traces by default (single-threaded suite).
+REPLAY_LIFEGUARDS = ("AddrCheck", "MemCheck", "TaintCheck")
+
+
+def capture_all(trace_dir: str, quick: bool = False, scale: float = 1.0) -> List[str]:
+    """Capture every (single-threaded) benchmark into ``trace_dir`` once."""
+    os.makedirs(trace_dir, exist_ok=True)
+    benchmarks = list(QUICK_SPEC) if quick else workload_names(multithreaded=False)
+    lines = [f"captured traces -> {trace_dir}", ""]
+    for benchmark in benchmarks:
+        path = trace_path_for(trace_dir, benchmark)
+        stats = capture_trace(benchmark, path, scale=scale)
+        lines.append(
+            f"  {benchmark:<12} {stats.records:>9} records  "
+            f"{stats.stored_bytes:>9} bytes stored  "
+            f"({stats.bytes_per_record:.2f} B/record, "
+            f"x{stats.compression_ratio:.1f} zlib, {stats.chunks} chunks)"
+        )
+    return lines
+
+
+def replay_all(
+    trace_dir: str,
+    lifeguards: Sequence[str] = REPLAY_LIFEGUARDS,
+    workers: int = 1,
+) -> List[str]:
+    """Replay every stored trace through each lifeguard; returns report lines."""
+    paths = sorted(glob.glob(os.path.join(trace_dir, "*.lbatrace")))
+    if not paths:
+        raise FileNotFoundError(f"no *.lbatrace files in {trace_dir!r} (run --capture-traces)")
+    lines = [f"replaying {len(paths)} traces from {trace_dir} (workers={workers})"]
+    if workers > 1:
+        lines.append(
+            "  note: sharded replay gives each worker a fresh lifeguard, so "
+            "error counts of stateful lifeguards are per-shard approximations; "
+            "use --workers 1 for live-run-exact reports"
+        )
+    lines.append("")
+    for path in paths:
+        benchmark = os.path.splitext(os.path.basename(path))[0]
+        for name in lifeguards:
+            result = replay_captured(path, name, workers=workers)
+            lines.append(
+                f"  {benchmark:<12} {name:<18} {result.records:>9} records  "
+                f"{result.dispatch.events_handled:>9} events  "
+                f"{result.errors_detected:>3} errors  "
+                f"{result.records_per_second:>12,.0f} rec/s"
+            )
+    return lines
 
 
 def run_all(quick: bool = False, scale: float = 1.0) -> List[str]:
@@ -74,10 +135,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="workload scale factor (default 1.0)")
     parser.add_argument("--output", type=str, default=None,
                         help="write the report to a file instead of stdout")
+    parser.add_argument("--capture-traces", metavar="DIR", default=None,
+                        help="capture each benchmark's log into DIR once and exit")
+    parser.add_argument("--replay-traces", metavar="DIR", default=None,
+                        help="replay previously captured traces from DIR and exit")
+    parser.add_argument("--lifeguards", nargs="+", default=list(REPLAY_LIFEGUARDS),
+                        help="lifeguards used with --replay-traces")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for --replay-traces (sharded replay)")
     args = parser.parse_args(argv)
 
     start = time.time()
-    sections = run_all(quick=args.quick, scale=args.scale)
+    if args.capture_traces:
+        sections = ["\n".join(capture_all(args.capture_traces, quick=args.quick,
+                                          scale=args.scale))]
+    elif args.replay_traces:
+        sections = ["\n".join(replay_all(args.replay_traces, lifeguards=args.lifeguards,
+                                         workers=args.workers))]
+    else:
+        sections = run_all(quick=args.quick, scale=args.scale)
     report = "\n\n" + "\n\n".join(sections) + "\n"
     report += f"\n(total experiment time: {time.time() - start:.1f}s)\n"
     if args.output:

@@ -10,7 +10,7 @@ lifeguard handlers) and the dual-core timing model that turns all of this
 into the slowdown numbers reported in the paper's Figures 10 and 11.
 """
 
-from repro.lba.record import encoded_record_size
+from repro.lba.record import RecordSizer, encoded_record_size
 from repro.lba.log_buffer import LogBuffer, LogBufferStats
 from repro.lba.capture import LogProducer, ProducerStats
 from repro.lba.dispatch import EventDispatcher, DispatchStats
@@ -18,6 +18,7 @@ from repro.lba.timing import CouplingModel, TimingBreakdown
 from repro.lba.platform import LBASystem, MonitoringResult
 
 __all__ = [
+    "RecordSizer",
     "encoded_record_size",
     "LogBuffer",
     "LogBufferStats",

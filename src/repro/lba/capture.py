@@ -4,23 +4,36 @@ Wraps the application machine (single- or multi-threaded) and, for each
 record it emits, computes the application-core cycle cost of the retiring
 instruction (1 cycle base for the in-order core plus instruction-fetch and
 data-access latencies through the core's private caches and the shared L2)
-and the compressed log bytes written.  The resulting ``(record, app_cycles)``
-stream feeds the coupling model.
+and the exact compressed log bytes written (sized by the binary codec in
+stream context).  The resulting ``(record, app_cycles)`` stream feeds the
+coupling model.
+
+The producer can additionally *tee* every record it emits into a
+:class:`repro.trace.tracefile.TraceWriter`, capturing the run as a chunked
+trace file that can later be replayed offline (capture once, analyse many
+times) without re-executing the ISA machine.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional, Tuple, Union
+from typing import Iterator, Optional, Protocol, Tuple, Union
 
 from repro.cache.hierarchy import AccessType, MemoryHierarchy
 from repro.core.events import AnnotationRecord, EventType, InstructionRecord
 from repro.isa.machine import Machine
 from repro.isa.threads import ThreadedMachine
-from repro.lba.record import encoded_record_size
+from repro.lba.record import RecordSizer
 
 Record = Union[InstructionRecord, AnnotationRecord]
 ApplicationMachine = Union[Machine, ThreadedMachine]
+
+
+class TraceWriterLike(Protocol):
+    """Anything records can be teed into (duck-typed to avoid an import cycle)."""
+
+    def append(self, record: Record) -> int:  # pragma: no cover - protocol
+        ...
 
 #: Application-core cost charged for rare library/system-call events
 #: (the wrapped routine's own work, which is not otherwise simulated).
@@ -45,28 +58,41 @@ APPLICATION_CORE = 0
 
 @dataclass
 class ProducerStats:
-    """Aggregate producer-side statistics."""
+    """Aggregate producer-side statistics (log bytes are exact integers)."""
 
     records: int = 0
     app_cycles: int = 0
-    log_bytes: float = 0.0
+    log_bytes: int = 0
     instructions: int = 0
     annotations: int = 0
 
 
 class LogProducer:
-    """Streams ``(record, app_cycle_cost)`` pairs from an application machine."""
+    """Streams ``(record, app_cycle_cost)`` pairs from an application machine.
+
+    Args:
+        machine: the application machine to run.
+        hierarchy: shared cache hierarchy for fetch/data latencies (optional).
+        max_instructions: execution safety limit.
+        trace_writer: optional tee -- any object with an ``append(record)``
+            method (typically a :class:`repro.trace.tracefile.TraceWriter`);
+            every emitted record is appended to it, capturing the run as a
+            replayable trace.
+    """
 
     def __init__(
         self,
         machine: ApplicationMachine,
         hierarchy: Optional[MemoryHierarchy] = None,
         max_instructions: int = 5_000_000,
+        trace_writer: Optional["TraceWriterLike"] = None,
     ) -> None:
         self.machine = machine
         self.hierarchy = hierarchy
         self.max_instructions = max_instructions
+        self.trace_writer = trace_writer
         self.stats = ProducerStats()
+        self._sizer = RecordSizer()
 
     def _record_cost(self, record: Record) -> int:
         if isinstance(record, AnnotationRecord):
@@ -108,7 +134,9 @@ class LogProducer:
             cost = self._record_cost(record)
             self.stats.records += 1
             self.stats.app_cycles += cost
-            self.stats.log_bytes += encoded_record_size(record)
+            self.stats.log_bytes += self._sizer.size(record)
+            if self.trace_writer is not None:
+                self.trace_writer.append(record)
             yield record, cost
 
     def _single_stream(self, observer, records) -> Iterator[Record]:

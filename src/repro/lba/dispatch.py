@@ -75,7 +75,7 @@ class EventDispatcher:
     def consume(self, record: Record) -> int:
         """Process one log record; returns the lifeguard-core cycles it cost."""
         self.stats.records_consumed += 1
-        mapper = self.lifeguard._ensure_mapper()
+        mapper = self.lifeguard.mapper()
         cycles = 0
         for event in self.accelerator.process(record):
             entry = self.accelerator.etct.lookup(event.event_type)

@@ -6,6 +6,11 @@ application core must stall; when it is empty the lifeguard core stalls.
 The buffer itself is functional -- the producer/consumer *timing* coupling is
 handled by :class:`repro.lba.timing.CouplingModel`, which only needs the
 capacity in records.
+
+Occupancy is accounted in exact integer bytes: each pushed record is sized
+by the real binary codec (:class:`repro.lba.record.RecordSizer`) in stream
+context, so the delta chains match what the wire format would actually
+cost, and no float drift can accumulate across millions of records.
 """
 
 from __future__ import annotations
@@ -16,37 +21,38 @@ from typing import Deque, Optional, Tuple, Union
 
 from repro.core.config import LogBufferConfig
 from repro.core.events import AnnotationRecord, InstructionRecord
-from repro.lba.record import encoded_record_size
+from repro.lba.record import RecordSizer
 
 Record = Union[InstructionRecord, AnnotationRecord]
 
 
 @dataclass
 class LogBufferStats:
-    """Occupancy and stall statistics of the log buffer."""
+    """Occupancy and stall statistics of the log buffer (exact bytes)."""
 
     records_pushed: int = 0
     records_popped: int = 0
-    bytes_pushed: float = 0.0
+    bytes_pushed: int = 0
     producer_stalls: int = 0
     consumer_stalls: int = 0
-    high_water_bytes: float = 0.0
+    high_water_bytes: int = 0
 
 
 class LogBuffer:
-    """Bounded FIFO of log records with byte-occupancy accounting."""
+    """Bounded FIFO of log records with exact byte-occupancy accounting."""
 
     def __init__(self, config: Optional[LogBufferConfig] = None) -> None:
         self.config = config or LogBufferConfig()
         self.stats = LogBufferStats()
-        self._queue: Deque[Tuple[Record, float]] = deque()
-        self._occupancy_bytes = 0.0
+        self._sizer = RecordSizer()
+        self._queue: Deque[Tuple[Record, int]] = deque()
+        self._occupancy_bytes = 0
 
     def __len__(self) -> int:
         return len(self._queue)
 
     @property
-    def occupancy_bytes(self) -> float:
+    def occupancy_bytes(self) -> int:
         """Current occupancy in (compressed) bytes."""
         return self._occupancy_bytes
 
@@ -57,12 +63,14 @@ class LogBuffer:
 
     def has_room_for(self, record: Record) -> bool:
         """True if ``record`` fits without exceeding the configured size."""
-        return self._occupancy_bytes + encoded_record_size(record) <= self.config.size_bytes
+        return self._occupancy_bytes + self._sizer.measure(record) <= self.config.size_bytes
 
     def push(self, record: Record) -> bool:
         """Append ``record``; returns False (and records a stall) when full."""
-        size = encoded_record_size(record)
+        saved = self._sizer.state()
+        size = self._sizer.size(record)
         if self._occupancy_bytes + size > self.config.size_bytes:
+            self._sizer.rollback(saved)  # rejected records leave no trace
             self.stats.producer_stalls += 1
             return False
         self._queue.append((record, size))

@@ -73,6 +73,7 @@ class LBASystem:
         config: Optional[SystemConfig] = None,
         workload_name: Optional[str] = None,
         max_instructions: int = 5_000_000,
+        trace_writer=None,
     ) -> None:
         self.machine = machine
         self.lifeguard = lifeguard
@@ -88,18 +89,18 @@ class LBASystem:
             lifeguard.etct, AcceleratorConfig.from_system(effective)
         )
         lifeguard.attach_hardware(self.accelerator.mtlb)
-        self.producer = LogProducer(machine, self.hierarchy, max_instructions=max_instructions)
+        self.producer = LogProducer(
+            machine,
+            self.hierarchy,
+            max_instructions=max_instructions,
+            trace_writer=trace_writer,
+        )
         self.dispatcher = EventDispatcher(lifeguard, self.accelerator, self.hierarchy)
         self.coupling = CouplingModel(self.config.log_buffer.capacity_records)
 
     def _effective_config(self) -> SystemConfig:
         """Gate IT and IF on the lifeguard's declared applicability (Figure 2)."""
-        return self.config.with_techniques(
-            it=self.config.it.enabled and self.lifeguard.uses_it,
-            idempotent_filter=(
-                self.config.idempotent_filter.enabled and self.lifeguard.uses_if
-            ),
-        )
+        return self.config.gated_for(self.lifeguard)
 
     def run(self, config_label: str = "") -> MonitoringResult:
         """Run the monitored program to completion and return the result."""
@@ -112,7 +113,7 @@ class LBASystem:
             self.coupling.observe(app_cost, lifeguard_cost, syscall_barrier=barrier)
         self.lifeguard.finalize()
         timing = self.coupling.finish()
-        mapper = self.lifeguard.mapper.stats if self.lifeguard.mapper else MapperStats()
+        mapper = self.lifeguard.mapper_stats()
         return MonitoringResult(
             workload=self.workload_name,
             lifeguard=self.lifeguard.name,

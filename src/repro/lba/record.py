@@ -1,48 +1,71 @@
-"""Log record size model.
+"""Log record size accounting, backed by the real binary codec.
 
-LBA compresses each instruction record down to less than a byte on average
-(Section 3), exploiting the redundancy between successive records (deltas of
-program counters, repeated operand patterns).  We do not need the actual bit
-stream -- the functional content travels as Python objects -- but the *size*
-of the compressed stream matters for the log-buffer occupancy and the L2
-traffic, so this module provides a deterministic per-record size estimate
-calibrated to the paper's "less than a byte per record" figure.
+LBA compresses each instruction record down to a few bytes (Section 3),
+exploiting the redundancy between successive records (deltas of program
+counters and data addresses, presence bitmaps for operand fields).  The
+compressed stream is produced by :mod:`repro.trace.codec`; this module
+exposes its *exact* per-record byte counts to the log-bandwidth accounting
+(log-buffer occupancy, producer statistics), replacing the earlier
+analytic estimate.
+
+Because the codec delta-encodes against the previous record, in-stream
+sizes are context dependent: hot loops with small PC/address deltas cost
+2-4 bytes per record while a cold record costs more.  Components that
+account a record *stream* hold a :class:`RecordSizer`; the module-level
+:func:`encoded_record_size` measures a single record out of context
+(fresh delta chains) -- typically larger than the in-stream size, but not
+a bound in either direction, since a stream positioned far from the
+record's addresses pays wider deltas than fresh chains would.
 """
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Tuple, Union
 
-from repro.core.events import AnnotationRecord, EventType, InstructionRecord
+from repro.core.events import AnnotationRecord, InstructionRecord
+from repro.trace.codec import RecordEncoder
 
 Record = Union[InstructionRecord, AnnotationRecord]
 
-#: Base cost in bits of an instruction record (event type + compressed pc delta).
-_BASE_BITS = 4
-#: Extra bits when the record carries a memory address (compressed).
-_ADDRESS_BITS = 6
-#: Extra bits for an operand register identifier.
-_REGISTER_BITS = 3
-#: Annotation records are rare and carry full operands.
-_ANNOTATION_BYTES = 8
 
+class RecordSizer:
+    """Exact in-stream compressed sizes for a sequence of records.
 
-def encoded_record_size(record: Record) -> float:
-    """Estimated compressed size of ``record`` in bytes.
-
-    Instruction records average below one byte, in line with the paper;
-    annotation records are modelled at 8 bytes (they are rare enough that the
-    exact figure is irrelevant for buffer behaviour).
+    Wraps a stateful :class:`RecordEncoder` so successive calls see the
+    same delta chains the on-wire stream would.  ``measure`` peeks at the
+    next record's size without committing it to the stream; ``size``
+    commits (the record is considered appended).
     """
-    if isinstance(record, AnnotationRecord):
-        return float(_ANNOTATION_BYTES)
-    bits = _BASE_BITS
-    if record.dest_reg is not None:
-        bits += _REGISTER_BITS
-    if record.src_reg is not None:
-        bits += _REGISTER_BITS
-    if record.dest_addr is not None:
-        bits += _ADDRESS_BITS
-    if record.src_addr is not None:
-        bits += _ADDRESS_BITS
-    return bits / 8.0
+
+    def __init__(self) -> None:
+        self._encoder = RecordEncoder()
+
+    def reset(self) -> None:
+        """Restart the delta chains (e.g. when the stream restarts)."""
+        self._encoder.reset()
+
+    def measure(self, record: Record) -> int:
+        """Size ``record`` would cost next, without advancing the stream."""
+        return self._encoder.measure(record)
+
+    def size(self, record: Record) -> int:
+        """Exact compressed size of ``record``, advancing the stream state."""
+        return len(self._encoder.encode(record))
+
+    def state(self) -> Tuple[int, int]:
+        """Snapshot of the stream state (see :meth:`rollback`)."""
+        return self._encoder.state()
+
+    def rollback(self, state: Tuple[int, int]) -> None:
+        """Undo :meth:`size` calls made since ``state`` was snapshotted."""
+        self._encoder.set_state(state)
+
+
+def encoded_record_size(record: Record) -> int:
+    """Exact compressed size of a single record with fresh delta chains.
+
+    For stream accounting prefer :class:`RecordSizer`, which captures the
+    cross-record compression; this stand-alone form is what one record
+    costs at a chunk boundary.
+    """
+    return len(RecordEncoder().encode(record))

@@ -168,7 +168,7 @@ class Lifeguard(ABC):
     def __init__(self) -> None:
         self.etct = ETCT()
         self.reports: List[ErrorReport] = []
-        self.mapper: Optional[MetadataMapper] = None
+        self._mapper: Optional[MetadataMapper] = None
         #: per-register metadata kept in lifeguard globals (cheap to access)
         self.register_meta: Dict[int, int] = {reg: 0 for reg in range(NUM_GPRS)}
         self._configure()
@@ -189,7 +189,7 @@ class Lifeguard(ABC):
 
     def attach_hardware(self, mtlb: Optional[MetadataTLB]) -> None:
         """Connect the lifeguard to the consumer-core hardware (or lack of it)."""
-        self.mapper = MetadataMapper(self.primary_map(), mtlb, self.lma_geometry())
+        self._mapper = MetadataMapper(self.primary_map(), mtlb, self.lma_geometry())
 
     @classmethod
     def info(cls) -> LifeguardInfo:
@@ -203,34 +203,41 @@ class Lifeguard(ABC):
 
     # ------------------------------------------------------------------ helpers
 
-    def _ensure_mapper(self) -> MetadataMapper:
-        if self.mapper is None:
+    def mapper(self) -> MetadataMapper:
+        """The metadata mapper, created on first use.
+
+        :meth:`attach_hardware` installs a hardware-aware mapper; in
+        stand-alone (non-LBA) use a software-translation-only mapper is
+        created lazily.  This is the public accessor the dispatcher and
+        handlers go through.
+        """
+        if self._mapper is None:
             # Stand-alone (non-LBA) use: software translation only.
-            self.mapper = MetadataMapper(self.primary_map(), None, None)
-        return self.mapper
+            self._mapper = MetadataMapper(self.primary_map(), None, None)
+        return self._mapper
+
+    def mapper_stats(self) -> MapperStats:
+        """Cumulative mapper statistics (empty when no event ran yet)."""
+        return self._mapper.stats if self._mapper is not None else MapperStats()
 
     def meta_read_bits(self, app_address: int, bits: int) -> int:
         """Translate and read the per-byte bit field covering ``app_address``."""
-        mapper = self._ensure_mapper()
-        mapper.translate(app_address)
+        self.mapper().translate(app_address)
         return self.primary_map().read_bits(app_address, bits)
 
     def meta_write_bits(self, app_address: int, bits: int, value: int) -> None:
         """Translate and write the per-byte bit field covering ``app_address``."""
-        mapper = self._ensure_mapper()
-        mapper.translate(app_address)
+        self.mapper().translate(app_address)
         self.primary_map().write_bits(app_address, bits, value)
 
     def meta_read_element(self, app_address: int) -> int:
         """Translate and read the whole metadata element covering ``app_address``."""
-        mapper = self._ensure_mapper()
-        mapper.translate(app_address)
+        self.mapper().translate(app_address)
         return self.primary_map().read_element(app_address)
 
     def meta_write_element(self, app_address: int, value: int) -> None:
         """Translate and write the whole metadata element covering ``app_address``."""
-        mapper = self._ensure_mapper()
-        mapper.translate(app_address)
+        self.mapper().translate(app_address)
         self.primary_map().write_element(app_address, value)
 
     def meta_fill_range(self, start: int, size: int, bits: int, value: int) -> None:
@@ -242,7 +249,7 @@ class Lifeguard(ABC):
         """
         if size <= 0:
             return
-        mapper = self._ensure_mapper()
+        mapper = self.mapper()
         shadow = self.primary_map()
         chunk_span = shadow.app_bytes_per_element
         if isinstance(shadow, TwoLevelShadowMap):

@@ -227,7 +227,7 @@ class LockSet(Lifeguard):
         # inherit a stale lockset state).
         word = event.dest_addr - event.dest_addr % _WORD
         end = event.dest_addr + event.size
-        mapper = self._ensure_mapper()
+        mapper = self.mapper()
         while word < end:
             if self.records.read_element(word):
                 self.records.write_element(word, self._encode(STATE_VIRGIN, 0))
@@ -237,7 +237,7 @@ class LockSet(Lifeguard):
     def _on_free(self, event: DeliveredEvent) -> None:
         # Nothing to refine; the next malloc covering these words resets them.
         if event.dest_addr is not None:
-            self._ensure_mapper().translate(event.dest_addr)
+            self.mapper().translate(event.dest_addr)
 
     def _on_thread_create(self, event: DeliveredEvent) -> None:
         self.thread_locks.setdefault(event.thread_id, set())

@@ -168,11 +168,11 @@ class MemCheck(Lifeguard):
                 current &= ~_INITIALIZED_BIT
             self.shadow.write_bits(byte_addr, 2, current)
         # One translation per element for cost purposes.
-        self._ensure_mapper()
+        mapper = self.mapper()
         per_element = self.shadow.app_bytes_per_element
         probe = address
         while probe < address + size:
-            self.mapper.translate(probe)
+            mapper.translate(probe)
             probe += per_element
 
     def _range_uninitialized(self, address: int, size: int) -> bool:

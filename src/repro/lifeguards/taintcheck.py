@@ -140,7 +140,7 @@ class TaintCheck(Lifeguard):
             self.taint.write_bits(
                 event.dest_addr + offset, _TAINT_BITS, _TAINTED if tainted else _CLEAN
             )
-        mapper = self._ensure_mapper()
+        mapper = self.mapper()
         per_element = self.shadow_bytes_per_element
         probe = 0
         while probe < size:

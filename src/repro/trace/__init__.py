@@ -1,0 +1,49 @@
+"""Trace subsystem: binary log serialization, chunked trace files, replay.
+
+The paper's premise is that the monitored core streams a *compressed log*
+of retired instructions to lifeguard cores.  This subpackage makes those
+log bytes real:
+
+* :mod:`repro.trace.codec` -- a lossless binary record codec (varint +
+  delta-encoded program counters and data addresses) whose per-record byte
+  counts are the source of truth for all log-bandwidth accounting;
+* :mod:`repro.trace.tracefile` -- chunked, optionally zlib-compressed trace
+  files with a per-chunk index, so a workload can be captured once and
+  re-analysed many times;
+* :mod:`repro.trace.replay` -- offline replay of a stored trace through the
+  acceleration pipeline and a lifeguard, including sharded parallel replay
+  across ``multiprocessing`` workers.
+"""
+
+from repro.trace.codec import (
+    RecordDecoder,
+    RecordEncoder,
+    TraceCodecError,
+    decode_records,
+    encode_records,
+)
+from repro.trace.replay import ParallelReplay, ReplayResult, replay_records, replay_trace
+from repro.trace.tracefile import (
+    ChunkInfo,
+    TraceFormatError,
+    TraceReader,
+    TraceStats,
+    TraceWriter,
+)
+
+__all__ = [
+    "RecordDecoder",
+    "RecordEncoder",
+    "TraceCodecError",
+    "encode_records",
+    "decode_records",
+    "ChunkInfo",
+    "TraceFormatError",
+    "TraceReader",
+    "TraceStats",
+    "TraceWriter",
+    "ParallelReplay",
+    "ReplayResult",
+    "replay_records",
+    "replay_trace",
+]

@@ -1,0 +1,369 @@
+"""Binary log-record codec.
+
+Implements the compressed on-wire format of the LBA log (Section 3 of the
+paper): each retired-instruction record is serialized as a small varint
+stream that exploits the redundancy between successive records --
+
+* the program counter is stored as a zigzag-encoded delta against the
+  previous record's program counter (straight-line code costs one byte);
+* data addresses are stored as zigzag deltas against the previous data
+  address seen by the encoder (strided access patterns cost one byte);
+* optional operand fields are gated by a presence bitmap so the common
+  register-to-register record carries no dead fields.
+
+The codec is *stateful* (the deltas form a chain), so both ends must
+process the same record sequence from the same reset point.  Chunked trace
+files (:mod:`repro.trace.tracefile`) reset the codec at every chunk
+boundary, which is what makes chunks independently decodable and therefore
+shardable across parallel replay workers.
+
+Round-tripping is lossless: ``decode(encode(r)) == r`` field for field, and
+re-encoding the decoded stream reproduces the identical bytes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Union
+
+from repro.core.events import AnnotationRecord, EventType, InstructionRecord
+
+Record = Union[InstructionRecord, AnnotationRecord]
+
+
+class TraceCodecError(ValueError):
+    """Raised when a byte stream cannot be decoded into records."""
+
+
+#: Stable wire identifier per event type (enum definition order).
+_WIRE_ID = {event_type: index for index, event_type in enumerate(EventType)}
+_EVENT_BY_WIRE_ID = list(EventType)
+
+# Presence/flag bits of an instruction record's bitmap.  The seven most
+# frequent fields occupy the low bits so the common load/move records keep
+# the flags varint to a single byte.
+_F_DEST_REG = 1 << 0
+_F_SRC_REG = 1 << 1
+_F_DEST_ADDR = 1 << 2
+_F_SRC_ADDR = 1 << 3
+_F_SIZE = 1 << 4
+_F_IS_LOAD = 1 << 5
+_F_BASE_REG = 1 << 6
+_F_IS_STORE = 1 << 7
+_F_INDEX_REG = 1 << 8
+_F_IMMEDIATE = 1 << 9
+_F_COND_TEST = 1 << 10
+_F_INDIRECT_JUMP = 1 << 11
+_F_THREAD = 1 << 12
+
+# Presence bits of an annotation record's bitmap.
+_A_ADDRESS = 1 << 0
+_A_SIZE = 1 << 1
+_A_THREAD = 1 << 2
+_A_PC = 1 << 3
+_A_PAYLOAD = 1 << 4
+
+
+def _zigzag(value: int) -> int:
+    """Map a signed integer to an unsigned one (small magnitudes stay small)."""
+    return (value << 1) if value >= 0 else ((-value) << 1) - 1
+
+
+def _unzigzag(value: int) -> int:
+    """Inverse of :func:`_zigzag`."""
+    return (value >> 1) if not value & 1 else -((value + 1) >> 1)
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    """Append an unsigned LEB128 varint."""
+    if value < 0:
+        raise TraceCodecError(f"varint value must be unsigned, got {value}")
+    while value > 0x7F:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def _read_varint(data: bytes, offset: int) -> Tuple[int, int]:
+    """Read an unsigned LEB128 varint; returns ``(value, next_offset)``."""
+    value = 0
+    shift = 0
+    length = len(data)
+    while True:
+        if offset >= length:
+            raise TraceCodecError("varint runs past end of buffer")
+        byte = data[offset]
+        offset += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, offset
+        shift += 7
+        if shift > 70:
+            raise TraceCodecError("varint longer than 10 bytes (corrupt stream)")
+
+
+class RecordEncoder:
+    """Stateful record → bytes encoder (delta chains for PC and addresses)."""
+
+    def __init__(self) -> None:
+        self._last_pc = 0
+        self._last_addr = 0
+
+    def reset(self) -> None:
+        """Restart the delta chains (chunk boundary)."""
+        self._last_pc = 0
+        self._last_addr = 0
+
+    def state(self) -> Tuple[int, int]:
+        """Snapshot of the delta chains, for speculative encoding."""
+        return (self._last_pc, self._last_addr)
+
+    def set_state(self, state: Tuple[int, int]) -> None:
+        """Restore a snapshot taken with :meth:`state`."""
+        self._last_pc, self._last_addr = state
+
+    def encode(self, record: Record) -> bytes:
+        """Serialize one record and advance the delta state."""
+        out = bytearray()
+        if isinstance(record, AnnotationRecord):
+            self._encode_annotation(out, record)
+        elif isinstance(record, InstructionRecord):
+            self._encode_instruction(out, record)
+        else:
+            raise TraceCodecError(f"cannot encode {type(record).__name__}")
+        return bytes(out)
+
+    def measure(self, record: Record) -> int:
+        """Exact encoded size of ``record`` *without* advancing the state."""
+        saved = self.state()
+        try:
+            return len(self.encode(record))
+        finally:
+            self.set_state(saved)
+
+    # ------------------------------------------------------------------ internals
+
+    def _encode_instruction(self, out: bytearray, record: InstructionRecord) -> None:
+        _write_varint(out, _WIRE_ID[record.event_type] << 1)
+        flags = 0
+        if record.dest_reg is not None:
+            flags |= _F_DEST_REG
+        if record.src_reg is not None:
+            flags |= _F_SRC_REG
+        if record.dest_addr is not None:
+            flags |= _F_DEST_ADDR
+        if record.src_addr is not None:
+            flags |= _F_SRC_ADDR
+        if record.base_reg is not None:
+            flags |= _F_BASE_REG
+        if record.index_reg is not None:
+            flags |= _F_INDEX_REG
+        if record.immediate is not None:
+            flags |= _F_IMMEDIATE
+        if record.size:
+            flags |= _F_SIZE
+        if record.is_load:
+            flags |= _F_IS_LOAD
+        if record.is_store:
+            flags |= _F_IS_STORE
+        if record.is_cond_test:
+            flags |= _F_COND_TEST
+        if record.is_indirect_jump:
+            flags |= _F_INDIRECT_JUMP
+        if record.thread_id:
+            flags |= _F_THREAD
+        _write_varint(out, flags)
+        _write_varint(out, _zigzag(record.pc - self._last_pc))
+        self._last_pc = record.pc
+        if flags & _F_DEST_REG:
+            _write_varint(out, record.dest_reg)
+        if flags & _F_SRC_REG:
+            _write_varint(out, record.src_reg)
+        if flags & _F_DEST_ADDR:
+            _write_varint(out, _zigzag(record.dest_addr - self._last_addr))
+            self._last_addr = record.dest_addr
+        if flags & _F_SRC_ADDR:
+            _write_varint(out, _zigzag(record.src_addr - self._last_addr))
+            self._last_addr = record.src_addr
+        if flags & _F_BASE_REG:
+            _write_varint(out, record.base_reg)
+        if flags & _F_INDEX_REG:
+            _write_varint(out, record.index_reg)
+        if flags & _F_IMMEDIATE:
+            _write_varint(out, _zigzag(record.immediate))
+        if flags & _F_SIZE:
+            _write_varint(out, record.size)
+        if flags & _F_THREAD:
+            _write_varint(out, record.thread_id)
+
+    def _encode_annotation(self, out: bytearray, record: AnnotationRecord) -> None:
+        _write_varint(out, (_WIRE_ID[record.event_type] << 1) | 1)
+        flags = 0
+        if record.address is not None:
+            flags |= _A_ADDRESS
+        if record.size:
+            flags |= _A_SIZE
+        if record.thread_id:
+            flags |= _A_THREAD
+        if record.pc:
+            flags |= _A_PC
+        if record.payload is not None:
+            flags |= _A_PAYLOAD
+        _write_varint(out, flags)
+        if flags & _A_ADDRESS:
+            _write_varint(out, _zigzag(record.address - self._last_addr))
+            self._last_addr = record.address
+        if flags & _A_SIZE:
+            _write_varint(out, record.size)
+        if flags & _A_THREAD:
+            _write_varint(out, record.thread_id)
+        if flags & _A_PC:
+            _write_varint(out, _zigzag(record.pc - self._last_pc))
+            self._last_pc = record.pc
+        if flags & _A_PAYLOAD:
+            _write_varint(out, _zigzag(record.payload))
+
+
+class RecordDecoder:
+    """Stateful bytes → record decoder mirroring :class:`RecordEncoder`."""
+
+    def __init__(self) -> None:
+        self._last_pc = 0
+        self._last_addr = 0
+
+    def reset(self) -> None:
+        """Restart the delta chains (chunk boundary)."""
+        self._last_pc = 0
+        self._last_addr = 0
+
+    def decode(self, data: bytes, offset: int = 0) -> Tuple[Record, int]:
+        """Decode one record at ``offset``; returns ``(record, next_offset)``."""
+        tag, offset = _read_varint(data, offset)
+        wire_id = tag >> 1
+        if wire_id >= len(_EVENT_BY_WIRE_ID):
+            raise TraceCodecError(f"unknown event wire id {wire_id}")
+        event_type = _EVENT_BY_WIRE_ID[wire_id]
+        if tag & 1:
+            return self._decode_annotation(event_type, data, offset)
+        return self._decode_instruction(event_type, data, offset)
+
+    # ------------------------------------------------------------------ internals
+
+    def _decode_instruction(
+        self, event_type: EventType, data: bytes, offset: int
+    ) -> Tuple[InstructionRecord, int]:
+        flags, offset = _read_varint(data, offset)
+        delta, offset = _read_varint(data, offset)
+        pc = self._last_pc + _unzigzag(delta)
+        self._last_pc = pc
+        dest_reg = src_reg = dest_addr = src_addr = None
+        base_reg = index_reg = immediate = None
+        size = thread_id = 0
+        if flags & _F_DEST_REG:
+            dest_reg, offset = _read_varint(data, offset)
+        if flags & _F_SRC_REG:
+            src_reg, offset = _read_varint(data, offset)
+        if flags & _F_DEST_ADDR:
+            delta, offset = _read_varint(data, offset)
+            dest_addr = self._last_addr + _unzigzag(delta)
+            self._last_addr = dest_addr
+        if flags & _F_SRC_ADDR:
+            delta, offset = _read_varint(data, offset)
+            src_addr = self._last_addr + _unzigzag(delta)
+            self._last_addr = src_addr
+        if flags & _F_BASE_REG:
+            base_reg, offset = _read_varint(data, offset)
+        if flags & _F_INDEX_REG:
+            index_reg, offset = _read_varint(data, offset)
+        if flags & _F_IMMEDIATE:
+            raw, offset = _read_varint(data, offset)
+            immediate = _unzigzag(raw)
+        if flags & _F_SIZE:
+            size, offset = _read_varint(data, offset)
+        if flags & _F_THREAD:
+            thread_id, offset = _read_varint(data, offset)
+        record = InstructionRecord(
+            pc=pc,
+            event_type=event_type,
+            dest_reg=dest_reg,
+            src_reg=src_reg,
+            dest_addr=dest_addr,
+            src_addr=src_addr,
+            size=size,
+            is_load=bool(flags & _F_IS_LOAD),
+            is_store=bool(flags & _F_IS_STORE),
+            base_reg=base_reg,
+            index_reg=index_reg,
+            is_cond_test=bool(flags & _F_COND_TEST),
+            is_indirect_jump=bool(flags & _F_INDIRECT_JUMP),
+            thread_id=thread_id,
+            immediate=immediate,
+        )
+        return record, offset
+
+    def _decode_annotation(
+        self, event_type: EventType, data: bytes, offset: int
+    ) -> Tuple[AnnotationRecord, int]:
+        flags, offset = _read_varint(data, offset)
+        address = payload = None
+        size = thread_id = pc = 0
+        if flags & _A_ADDRESS:
+            delta, offset = _read_varint(data, offset)
+            address = self._last_addr + _unzigzag(delta)
+            self._last_addr = address
+        if flags & _A_SIZE:
+            size, offset = _read_varint(data, offset)
+        if flags & _A_THREAD:
+            thread_id, offset = _read_varint(data, offset)
+        if flags & _A_PC:
+            delta, offset = _read_varint(data, offset)
+            pc = self._last_pc + _unzigzag(delta)
+            self._last_pc = pc
+        if flags & _A_PAYLOAD:
+            raw, offset = _read_varint(data, offset)
+            payload = _unzigzag(raw)
+        record = AnnotationRecord(
+            event_type=event_type,
+            address=address,
+            size=size,
+            thread_id=thread_id,
+            pc=pc,
+            payload=payload,
+        )
+        return record, offset
+
+
+def encode_records(records) -> bytes:
+    """Serialize a record sequence with a fresh encoder."""
+    encoder = RecordEncoder()
+    out = bytearray()
+    for record in records:
+        out += encoder.encode(record)
+    return bytes(out)
+
+
+def decode_records(data: bytes, expected_count: int = -1) -> List[Record]:
+    """Decode a byte stream produced by :func:`encode_records`.
+
+    Args:
+        data: the encoded stream.
+        expected_count: when non-negative, exactly that many records must
+            consume exactly the whole buffer, otherwise
+            :class:`TraceCodecError` is raised (chunk integrity check).
+    """
+    decoder = RecordDecoder()
+    records: List[Record] = []
+    offset = 0
+    if expected_count < 0:
+        while offset < len(data):
+            record, offset = decoder.decode(data, offset)
+            records.append(record)
+        return records
+    for _ in range(expected_count):
+        record, offset = decoder.decode(data, offset)
+        records.append(record)
+    if offset != len(data):
+        raise TraceCodecError(
+            f"chunk decoded {expected_count} records but left "
+            f"{len(data) - offset} trailing bytes"
+        )
+    return records

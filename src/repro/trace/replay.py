@@ -1,0 +1,253 @@
+"""Offline replay: feed a stored trace through the lifeguard pipeline.
+
+Replay decouples log *production* from log *consumption*: a workload is
+executed (and captured) once, then the stored record stream is pushed
+through the acceleration pipeline (:class:`EventAccelerator`) and an
+:class:`EventDispatcher` without re-running the ISA machine.  Because the
+functional event stream is fully determined by the records, a sequential
+replay reproduces the live run's delivered events, handler work and error
+reports exactly; only cache-latency cycle details differ (replay does not
+model the shared application/lifeguard cache hierarchy by default).
+
+:class:`ParallelReplay` shards the trace's chunks across
+``multiprocessing`` workers, each owning a private lifeguard instance, and
+merges the per-shard :class:`DispatchStats`/:class:`AcceleratorStats` and
+error reports.  Sharding trades cross-chunk lifeguard state (a shard does
+not see metadata updates from earlier shards) for near-linear consumption
+throughput -- the same decomposition the paper uses to spread monitoring
+across multiple lifeguard cores.  ``run_sequential()`` applies the exact
+same sharding in-process, so parallel and sequential sharded replays are
+bit-for-bit comparable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Type, Union
+
+from repro.core.accelerator import AcceleratorConfig, AcceleratorStats, EventAccelerator
+from repro.core.config import SystemConfig
+from repro.lba.dispatch import DispatchStats, EventDispatcher
+from repro.lifeguards import ALL_LIFEGUARDS
+from repro.lifeguards.base import Lifeguard
+from repro.lifeguards.reports import ErrorReport, merge_reports
+from repro.trace.tracefile import TraceReader
+
+LifeguardSpec = Union[str, Type[Lifeguard]]
+
+
+def _resolve_lifeguard(spec: LifeguardSpec) -> Type[Lifeguard]:
+    """Resolve a lifeguard name or class to a class (names stay picklable)."""
+    if isinstance(spec, str):
+        try:
+            return ALL_LIFEGUARDS[spec]
+        except KeyError:
+            raise KeyError(
+                f"unknown lifeguard {spec!r}; known: {sorted(ALL_LIFEGUARDS)}"
+            ) from None
+    return spec
+
+
+def build_pipeline(
+    lifeguard: Lifeguard, config: Optional[SystemConfig] = None
+) -> Tuple[EventAccelerator, EventDispatcher]:
+    """Wire a lifeguard to a freshly configured accelerator + dispatcher.
+
+    Applies the same Figure 2 technique gating as the live platform
+    (:meth:`SystemConfig.gated_for`).
+    """
+    effective = (config or SystemConfig()).gated_for(lifeguard)
+    accelerator = EventAccelerator(lifeguard.etct, AcceleratorConfig.from_system(effective))
+    lifeguard.attach_hardware(accelerator.mtlb)
+    dispatcher = EventDispatcher(lifeguard, accelerator)
+    return accelerator, dispatcher
+
+
+@dataclass
+class ReplayResult:
+    """Merged outcome of one (possibly sharded) replay."""
+
+    lifeguard: str
+    records: int
+    chunks: int
+    workers: int
+    dispatch: DispatchStats
+    accelerator: AcceleratorStats
+    reports: List[ErrorReport] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def errors_detected(self) -> int:
+        """Number of violations reported across all shards."""
+        return len(self.reports)
+
+    @property
+    def records_per_second(self) -> float:
+        """Consumption throughput of this replay."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.records / self.wall_seconds
+
+
+def replay_records(
+    records, lifeguard: Lifeguard, config: Optional[SystemConfig] = None
+) -> Tuple[DispatchStats, AcceleratorStats, List[ErrorReport]]:
+    """Consume a record sequence through ``lifeguard``; returns the stats."""
+    accelerator, dispatcher = build_pipeline(lifeguard, config)
+    for record in records:
+        dispatcher.consume(record)
+    lifeguard.finalize()
+    return dispatcher.stats, accelerator.stats, list(lifeguard.reports)
+
+
+def replay_trace(
+    trace_path: str,
+    lifeguard: LifeguardSpec,
+    config: Optional[SystemConfig] = None,
+) -> ReplayResult:
+    """Sequentially replay a whole stored trace through one lifeguard.
+
+    This is the faithful single-consumer replay: one lifeguard instance
+    observes every record in order, so its reports and delivered-event
+    counts match the live monitored run exactly.
+    """
+    lifeguard_cls = _resolve_lifeguard(lifeguard)
+    instance = lifeguard_cls()
+    start = time.perf_counter()
+    with TraceReader(trace_path) as reader:
+        dispatch, accel, reports = replay_records(reader.iter_records(), instance, config)
+        chunks = reader.num_chunks
+    return ReplayResult(
+        lifeguard=lifeguard_cls.name,
+        records=dispatch.records_consumed,
+        chunks=chunks,
+        workers=1,
+        dispatch=dispatch,
+        accelerator=accel,
+        reports=reports,
+        wall_seconds=time.perf_counter() - start,
+    )
+
+
+# ---------------------------------------------------------------------- sharded
+
+
+def _sum_stats(cls, items):
+    """Field-wise sum of homogeneous integer-stats dataclasses."""
+    merged = cls()
+    for stats_field in dataclasses.fields(cls):
+        setattr(
+            merged,
+            stats_field.name,
+            sum(getattr(item, stats_field.name) for item in items),
+        )
+    return merged
+
+
+@dataclass
+class _ShardResult:
+    """Picklable result of replaying one contiguous span of chunks."""
+
+    records: int
+    dispatch: DispatchStats
+    accelerator: AcceleratorStats
+    reports: List[ErrorReport]
+
+
+def _replay_shard(args: Tuple[str, str, Optional[SystemConfig], Sequence[int]]) -> _ShardResult:
+    """Worker entry point: replay the given chunk indices with a fresh lifeguard."""
+    trace_path, lifeguard_name, config, chunk_indices = args
+    lifeguard = ALL_LIFEGUARDS[lifeguard_name]()
+    accelerator, dispatcher = build_pipeline(lifeguard, config)
+    with TraceReader(trace_path) as reader:
+        for index in chunk_indices:
+            for record in reader.read_chunk(index):
+                dispatcher.consume(record)
+    lifeguard.finalize()
+    return _ShardResult(
+        records=dispatcher.stats.records_consumed,
+        dispatch=dispatcher.stats,
+        accelerator=accelerator.stats,
+        reports=list(lifeguard.reports),
+    )
+
+
+class ParallelReplay:
+    """Shard a trace's chunks across workers, each owning a lifeguard.
+
+    Workers receive contiguous chunk spans (chunk boundaries are codec
+    reset points, so any span decodes independently).  Per-shard stats are
+    summed field-wise and reports are merged deterministically, so
+    ``run()`` with N processes and ``run_sequential()`` produce identical
+    results.
+    """
+
+    def __init__(
+        self,
+        trace_path: str,
+        lifeguard: LifeguardSpec,
+        config: Optional[SystemConfig] = None,
+        workers: int = 2,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.trace_path = trace_path
+        self.lifeguard_cls = _resolve_lifeguard(lifeguard)
+        self.config = config
+        self.workers = workers
+        with TraceReader(trace_path) as reader:
+            self.num_chunks = reader.num_chunks
+
+    def shards(self) -> List[List[int]]:
+        """Contiguous chunk-index spans, one per worker (empty spans dropped)."""
+        if not self.num_chunks:
+            return []
+        workers = min(self.workers, self.num_chunks)
+        base, extra = divmod(self.num_chunks, workers)
+        spans: List[List[int]] = []
+        start = 0
+        for worker in range(workers):
+            length = base + (1 if worker < extra else 0)
+            spans.append(list(range(start, start + length)))
+            start += length
+        return spans
+
+    def _shard_args(self):
+        return [
+            (self.trace_path, self.lifeguard_cls.name, self.config, span)
+            for span in self.shards()
+        ]
+
+    def _merge(self, shard_results: List[_ShardResult], workers: int, elapsed: float) -> ReplayResult:
+        dispatch = _sum_stats(DispatchStats, [s.dispatch for s in shard_results])
+        accel = _sum_stats(AcceleratorStats, [s.accelerator for s in shard_results])
+        reports = merge_reports(*[s.reports for s in shard_results])
+        return ReplayResult(
+            lifeguard=self.lifeguard_cls.name,
+            records=sum(s.records for s in shard_results),
+            chunks=self.num_chunks,
+            workers=workers,
+            dispatch=dispatch,
+            accelerator=accel,
+            reports=reports,
+            wall_seconds=elapsed,
+        )
+
+    def run_sequential(self) -> ReplayResult:
+        """Replay every shard in-process (reference for the parallel path)."""
+        start = time.perf_counter()
+        results = [_replay_shard(args) for args in self._shard_args()]
+        return self._merge(results, workers=1, elapsed=time.perf_counter() - start)
+
+    def run(self) -> ReplayResult:
+        """Replay shards across worker processes and merge the results."""
+        args = self._shard_args()
+        if len(args) <= 1:
+            return self.run_sequential()
+        start = time.perf_counter()
+        with multiprocessing.Pool(processes=len(args)) as pool:
+            results = pool.map(_replay_shard, args)
+        return self._merge(results, workers=len(args), elapsed=time.perf_counter() - start)

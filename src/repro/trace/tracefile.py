@@ -1,0 +1,312 @@
+"""Chunked trace files: capture a log once, re-analyse it many times.
+
+File layout (all integers little-endian)::
+
+    header   : magic "LBATRC01" | u16 version | u16 flags | u32 chunk_bytes
+               | u64 index_offset (patched on close)
+    chunks   : concatenated chunk payloads (zlib-compressed when flag set)
+    index    : magic "INDX" | u32 num_chunks
+               | per chunk: u64 offset | u32 stored_len | u32 raw_len | u32 records
+               | u64 total_records | u64 instructions | u64 annotations | u64 raw_bytes
+
+Each chunk is an independently decodable unit: the record codec's delta
+chains are reset at every chunk boundary, so a reader (or a parallel replay
+worker) can seek straight to any chunk via the index without touching the
+bytes before it.  Chunks are closed when their raw payload reaches the
+configured ``chunk_bytes`` target, so all chunks of a trace have roughly
+the same size (the last one may be short).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Iterator, List, Union
+
+from repro.core.events import AnnotationRecord, InstructionRecord
+from repro.trace.codec import RecordEncoder, TraceCodecError, decode_records
+
+Record = Union[InstructionRecord, AnnotationRecord]
+
+_MAGIC = b"LBATRC01"
+_INDEX_MAGIC = b"INDX"
+_VERSION = 1
+_FLAG_ZLIB = 1 << 0
+
+_HEADER = struct.Struct("<8sHHIQ")
+_INDEX_HEADER = struct.Struct("<4sI")
+_INDEX_ENTRY = struct.Struct("<QIII")
+_INDEX_TOTALS = struct.Struct("<QQQQ")
+
+#: Default raw payload size at which a chunk is closed.
+DEFAULT_CHUNK_BYTES = 64 * 1024
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file is malformed, truncated or corrupt."""
+
+
+@dataclass(frozen=True)
+class ChunkInfo:
+    """Index entry describing one chunk."""
+
+    index: int
+    offset: int
+    stored_len: int
+    raw_len: int
+    records: int
+
+
+@dataclass
+class TraceStats:
+    """Aggregate statistics of a captured trace."""
+
+    records: int = 0
+    instructions: int = 0
+    annotations: int = 0
+    raw_bytes: int = 0
+    stored_bytes: int = 0
+    chunks: int = 0
+
+    @property
+    def compression_ratio(self) -> float:
+        """Raw codec bytes over stored (possibly zlib-compressed) bytes."""
+        if not self.stored_bytes:
+            return 1.0
+        return self.raw_bytes / self.stored_bytes
+
+    @property
+    def bytes_per_record(self) -> float:
+        """Average stored bytes per record."""
+        if not self.records:
+            return 0.0
+        return self.stored_bytes / self.records
+
+
+class TraceWriter:
+    """Streams records into a chunked trace file.
+
+    Usable as a context manager; :meth:`close` finalizes the chunk in
+    flight, appends the index and patches the header's index offset.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        compress: bool = True,
+    ) -> None:
+        if chunk_bytes <= 0:
+            raise ValueError("chunk_bytes must be positive")
+        self.path = os.fspath(path)
+        self.chunk_bytes = chunk_bytes
+        self.compress = compress
+        self.stats = TraceStats()
+        self._encoder = RecordEncoder()
+        self._chunk = bytearray()
+        self._chunk_records = 0
+        self._chunks: List[ChunkInfo] = []
+        self._file = open(self.path, "wb")
+        self._closed = False
+        flags = _FLAG_ZLIB if compress else 0
+        self._file.write(_HEADER.pack(_MAGIC, _VERSION, flags, chunk_bytes, 0))
+
+    # ------------------------------------------------------------------ writing
+
+    def append(self, record: Record) -> int:
+        """Serialize one record into the current chunk; returns its raw bytes."""
+        if self._closed:
+            raise ValueError("trace writer is closed")
+        encoded = self._encoder.encode(record)
+        self._chunk += encoded
+        self._chunk_records += 1
+        self.stats.records += 1
+        if isinstance(record, AnnotationRecord):
+            self.stats.annotations += 1
+        else:
+            self.stats.instructions += 1
+        self.stats.raw_bytes += len(encoded)
+        if len(self._chunk) >= self.chunk_bytes:
+            self._flush_chunk()
+        return len(encoded)
+
+    def extend(self, records) -> None:
+        """Append a record sequence."""
+        for record in records:
+            self.append(record)
+
+    def _flush_chunk(self) -> None:
+        if not self._chunk_records:
+            return
+        raw = bytes(self._chunk)
+        stored = zlib.compress(raw, 6) if self.compress else raw
+        offset = self._file.tell()
+        self._file.write(stored)
+        self._chunks.append(
+            ChunkInfo(
+                index=len(self._chunks),
+                offset=offset,
+                stored_len=len(stored),
+                raw_len=len(raw),
+                records=self._chunk_records,
+            )
+        )
+        self.stats.stored_bytes += len(stored)
+        self.stats.chunks += 1
+        self._chunk = bytearray()
+        self._chunk_records = 0
+        self._encoder.reset()
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def close(self) -> TraceStats:
+        """Flush the final chunk, write the index, patch the header."""
+        if self._closed:
+            return self.stats
+        self._flush_chunk()
+        index_offset = self._file.tell()
+        self._file.write(_INDEX_HEADER.pack(_INDEX_MAGIC, len(self._chunks)))
+        for chunk in self._chunks:
+            self._file.write(
+                _INDEX_ENTRY.pack(chunk.offset, chunk.stored_len, chunk.raw_len, chunk.records)
+            )
+        self._file.write(
+            _INDEX_TOTALS.pack(
+                self.stats.records,
+                self.stats.instructions,
+                self.stats.annotations,
+                self.stats.raw_bytes,
+            )
+        )
+        self._file.seek(0)
+        flags = _FLAG_ZLIB if self.compress else 0
+        self._file.write(_HEADER.pack(_MAGIC, _VERSION, flags, self.chunk_bytes, index_offset))
+        self._file.close()
+        self._closed = True
+        return self.stats
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class TraceReader:
+    """Random-access reader over a chunked trace file."""
+
+    def __init__(self, path: Union[str, os.PathLike]) -> None:
+        self.path = os.fspath(path)
+        self._file = open(self.path, "rb")
+        try:
+            self._parse()
+        except Exception:
+            self._file.close()
+            raise
+
+    # ------------------------------------------------------------------ parsing
+
+    def _parse(self) -> None:
+        file_size = os.fstat(self._file.fileno()).st_size
+        header = self._file.read(_HEADER.size)
+        if len(header) < _HEADER.size:
+            raise TraceFormatError(f"{self.path}: file shorter than trace header")
+        magic, version, flags, chunk_bytes, index_offset = _HEADER.unpack(header)
+        if magic != _MAGIC:
+            raise TraceFormatError(f"{self.path}: bad magic {magic!r}")
+        if version != _VERSION:
+            raise TraceFormatError(f"{self.path}: unsupported trace version {version}")
+        if index_offset == 0 or index_offset > file_size:
+            raise TraceFormatError(f"{self.path}: missing index (truncated trace?)")
+        self.compressed = bool(flags & _FLAG_ZLIB)
+        self.chunk_bytes = chunk_bytes
+        self._index_offset = index_offset
+
+        self._file.seek(index_offset)
+        index_header = self._file.read(_INDEX_HEADER.size)
+        if len(index_header) < _INDEX_HEADER.size:
+            raise TraceFormatError(f"{self.path}: truncated chunk index")
+        index_magic, num_chunks = _INDEX_HEADER.unpack(index_header)
+        if index_magic != _INDEX_MAGIC:
+            raise TraceFormatError(f"{self.path}: bad index magic {index_magic!r}")
+        self.chunks: List[ChunkInfo] = []
+        for i in range(num_chunks):
+            entry = self._file.read(_INDEX_ENTRY.size)
+            if len(entry) < _INDEX_ENTRY.size:
+                raise TraceFormatError(f"{self.path}: truncated index entry {i}")
+            offset, stored_len, raw_len, records = _INDEX_ENTRY.unpack(entry)
+            if offset + stored_len > index_offset:
+                raise TraceFormatError(
+                    f"{self.path}: chunk {i} payload overlaps the index (truncated trace?)"
+                )
+            self.chunks.append(ChunkInfo(i, offset, stored_len, raw_len, records))
+        totals = self._file.read(_INDEX_TOTALS.size)
+        if len(totals) < _INDEX_TOTALS.size:
+            raise TraceFormatError(f"{self.path}: truncated index totals")
+        records, instructions, annotations, raw_bytes = _INDEX_TOTALS.unpack(totals)
+        self.stats = TraceStats(
+            records=records,
+            instructions=instructions,
+            annotations=annotations,
+            raw_bytes=raw_bytes,
+            stored_bytes=sum(c.stored_len for c in self.chunks),
+            chunks=num_chunks,
+        )
+
+    # ------------------------------------------------------------------ access
+
+    @property
+    def num_chunks(self) -> int:
+        """Number of chunks in the trace."""
+        return len(self.chunks)
+
+    @property
+    def num_records(self) -> int:
+        """Total records in the trace (from the index totals)."""
+        return self.stats.records
+
+    def read_chunk(self, index: int) -> List[Record]:
+        """Decode and return all records of one chunk."""
+        if not 0 <= index < len(self.chunks):
+            raise IndexError(f"chunk {index} out of range (trace has {len(self.chunks)})")
+        chunk = self.chunks[index]
+        self._file.seek(chunk.offset)
+        stored = self._file.read(chunk.stored_len)
+        if len(stored) < chunk.stored_len:
+            raise TraceFormatError(f"{self.path}: chunk {index} truncated on disk")
+        if self.compressed:
+            try:
+                raw = zlib.decompress(stored)
+            except zlib.error as exc:
+                raise TraceFormatError(f"{self.path}: chunk {index} corrupt: {exc}") from exc
+        else:
+            raw = stored
+        if len(raw) != chunk.raw_len:
+            raise TraceFormatError(
+                f"{self.path}: chunk {index} raw size mismatch "
+                f"({len(raw)} != {chunk.raw_len})"
+            )
+        try:
+            return decode_records(raw, expected_count=chunk.records)
+        except TraceCodecError as exc:
+            raise TraceFormatError(f"{self.path}: chunk {index} corrupt: {exc}") from exc
+
+    def iter_records(self) -> Iterator[Record]:
+        """Yield every record of the trace in order."""
+        for index in range(len(self.chunks)):
+            yield from self.read_chunk(index)
+
+    def __iter__(self) -> Iterator[Record]:
+        return self.iter_records()
+
+    def close(self) -> None:
+        """Release the underlying file handle."""
+        self._file.close()
+
+    def __enter__(self) -> "TraceReader":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

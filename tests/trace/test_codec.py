@@ -1,0 +1,166 @@
+"""Codec tests: lossless round-trip over every event type and record shape."""
+
+import random
+
+import pytest
+
+from repro.core.events import AnnotationRecord, EventClass, EventType, InstructionRecord
+from repro.trace.codec import (
+    RecordDecoder,
+    RecordEncoder,
+    TraceCodecError,
+    decode_records,
+    encode_records,
+)
+
+ANNOTATION_TYPES = [et for et in EventType if et.event_class is EventClass.RARE]
+INSTRUCTION_TYPES = [et for et in EventType if et.event_class is not EventClass.RARE]
+
+
+def roundtrip(records):
+    data = encode_records(records)
+    decoded = decode_records(data, expected_count=len(records))
+    assert decoded == records
+    # Re-encoding the decoded stream must reproduce identical bytes.
+    assert encode_records(decoded) == data
+    return data
+
+
+class TestEveryEventType:
+    @pytest.mark.parametrize("event_type", INSTRUCTION_TYPES, ids=lambda e: e.value)
+    def test_instruction_type_roundtrip(self, event_type):
+        roundtrip(
+            [
+                InstructionRecord(pc=0x8048000, event_type=event_type),
+                InstructionRecord(
+                    pc=0x8048004,
+                    event_type=event_type,
+                    dest_reg=3,
+                    src_reg=5,
+                    dest_addr=0x0900_0010,
+                    src_addr=0x0900_0020,
+                    size=4,
+                    is_load=True,
+                    is_store=True,
+                    base_reg=6,
+                    index_reg=7,
+                    is_cond_test=True,
+                    is_indirect_jump=True,
+                    thread_id=1,
+                    immediate=-42,
+                ),
+            ]
+        )
+
+    @pytest.mark.parametrize("event_type", ANNOTATION_TYPES, ids=lambda e: e.value)
+    def test_annotation_type_roundtrip(self, event_type):
+        roundtrip(
+            [
+                AnnotationRecord(event_type=event_type),
+                AnnotationRecord(
+                    event_type=event_type,
+                    address=0x0A00_0000,
+                    size=128,
+                    thread_id=2,
+                    pc=0x8048100,
+                    payload=-9,
+                ),
+            ]
+        )
+
+
+def _random_record(rng):
+    if rng.random() < 0.1:
+        return AnnotationRecord(
+            event_type=rng.choice(ANNOTATION_TYPES),
+            address=rng.randrange(0, 1 << 32) if rng.random() < 0.8 else None,
+            size=rng.randrange(0, 1 << 16),
+            thread_id=rng.randrange(0, 4),
+            pc=rng.randrange(0, 1 << 32),
+            payload=rng.randrange(-(1 << 31), 1 << 31) if rng.random() < 0.3 else None,
+        )
+    return InstructionRecord(
+        pc=rng.randrange(0, 1 << 32),
+        event_type=rng.choice(INSTRUCTION_TYPES),
+        dest_reg=rng.randrange(0, 8) if rng.random() < 0.5 else None,
+        src_reg=rng.randrange(0, 8) if rng.random() < 0.5 else None,
+        dest_addr=rng.randrange(0, 1 << 32) if rng.random() < 0.4 else None,
+        src_addr=rng.randrange(0, 1 << 32) if rng.random() < 0.4 else None,
+        size=rng.choice([0, 1, 2, 4, 8]),
+        is_load=rng.random() < 0.3,
+        is_store=rng.random() < 0.3,
+        base_reg=rng.randrange(0, 8) if rng.random() < 0.3 else None,
+        index_reg=rng.randrange(0, 8) if rng.random() < 0.1 else None,
+        is_cond_test=rng.random() < 0.1,
+        is_indirect_jump=rng.random() < 0.05,
+        thread_id=rng.randrange(0, 4),
+        immediate=rng.randrange(-(1 << 31), 1 << 31) if rng.random() < 0.2 else None,
+    )
+
+
+class TestPropertyStyle:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_streams_roundtrip_byte_identically(self, seed):
+        rng = random.Random(seed)
+        records = [_random_record(rng) for _ in range(400)]
+        roundtrip(records)
+
+    def test_incremental_decode_matches_bulk(self):
+        rng = random.Random(99)
+        records = [_random_record(rng) for _ in range(100)]
+        data = encode_records(records)
+        decoder = RecordDecoder()
+        offset = 0
+        out = []
+        while offset < len(data):
+            record, offset = decoder.decode(data, offset)
+            out.append(record)
+        assert out == records
+
+    def test_measure_matches_encode(self):
+        rng = random.Random(7)
+        encoder = RecordEncoder()
+        for _ in range(200):
+            record = _random_record(rng)
+            measured = encoder.measure(record)
+            assert measured == len(encoder.encode(record))
+
+
+class TestDeltaState:
+    def test_reset_restarts_delta_chains(self):
+        record = InstructionRecord(pc=0x1000, event_type=EventType.REG_TO_REG, dest_reg=1)
+        encoder = RecordEncoder()
+        first = encoder.encode(record)
+        encoder.reset()
+        assert encoder.encode(record) == first
+
+    def test_chunked_streams_decode_independently(self):
+        rng = random.Random(3)
+        chunk_a = [_random_record(rng) for _ in range(50)]
+        chunk_b = [_random_record(rng) for _ in range(50)]
+        # Encoded separately (fresh encoder each), decoded separately.
+        assert decode_records(encode_records(chunk_b), expected_count=50) == chunk_b
+        assert decode_records(encode_records(chunk_a), expected_count=50) == chunk_a
+
+
+class TestErrorPaths:
+    def test_truncated_stream_raises(self):
+        data = encode_records(
+            [InstructionRecord(pc=0x1000, event_type=EventType.MEM_TO_REG,
+                               dest_reg=1, src_addr=0x900000, size=4, is_load=True)]
+        )
+        with pytest.raises(TraceCodecError):
+            decode_records(data[:-1], expected_count=1)
+
+    def test_unknown_wire_id_raises(self):
+        with pytest.raises(TraceCodecError):
+            decode_records(b"\xff\x7f\x00\x00", expected_count=1)
+
+    def test_trailing_garbage_raises_with_expected_count(self):
+        data = encode_records([AnnotationRecord(EventType.MALLOC, address=16, size=4)])
+        with pytest.raises(TraceCodecError):
+            decode_records(data + b"\x00\x00", expected_count=1)
+
+    def test_unbounded_varint_raises(self):
+        with pytest.raises(TraceCodecError):
+            decode_records(b"\x80" * 12, expected_count=1)

@@ -1,0 +1,154 @@
+"""Replay tests: capture-once/replay-many must reproduce the live run.
+
+The acceptance bar of the trace subsystem: a trace captured from a
+monitored workload, replayed through a fresh lifeguard, produces the
+identical error reports and delivered-event counts as the live run, and a
+parallel sharded replay matches the equivalent sequential sharded replay
+stat for stat.
+"""
+
+import pytest
+
+from repro.core.config import BASELINE_CONFIG, OPTIMIZED_CONFIG
+from repro.isa.machine import Machine
+from repro.lba.platform import LBASystem
+from repro.lifeguards import AddrCheck, MemCheck, TaintCheck
+from repro.lifeguards.base import MetadataMapper
+from repro.lifeguards.reports import merge_reports, report_counts
+from repro.trace.replay import ParallelReplay, replay_trace
+from repro.trace.tracefile import TraceReader, TraceWriter
+from repro.workloads import attacks, bugs
+from tests.conftest import build_copy_loop
+
+
+def capture(tmp_path, program, lifeguard, config=OPTIMIZED_CONFIG, chunk_bytes=256):
+    """Run a live monitored run while teeing the log into a trace file."""
+    path = tmp_path / "run.trace"
+    with TraceWriter(path, chunk_bytes=chunk_bytes) as writer:
+        live = LBASystem(Machine(program), lifeguard, config, trace_writer=writer).run("live")
+    return str(path), live
+
+
+class TestCaptureTee:
+    def test_trace_captures_every_record(self, tmp_path):
+        path, live = capture(tmp_path, build_copy_loop(32), AddrCheck())
+        with TraceReader(path) as reader:
+            assert reader.num_records == live.producer.records
+            assert reader.stats.instructions == live.producer.instructions
+            assert reader.stats.annotations == live.producer.annotations
+            # The producer sizes one continuous stream; the trace file
+            # restarts the delta chains at every chunk boundary, so its raw
+            # bytes are only slightly larger (cold first record per chunk).
+            assert reader.stats.raw_bytes >= live.producer.log_bytes
+            overhead = reader.stats.raw_bytes - live.producer.log_bytes
+            assert overhead <= reader.num_chunks * 16
+
+    def test_capture_does_not_change_live_result(self, tmp_path):
+        plain = LBASystem(Machine(build_copy_loop(32)), AddrCheck(), OPTIMIZED_CONFIG).run()
+        _, teed = capture(tmp_path, build_copy_loop(32), AddrCheck())
+        assert teed.slowdown == plain.slowdown
+        assert teed.dispatch == plain.dispatch
+
+
+class TestSequentialReplay:
+    @pytest.mark.parametrize(
+        "program_builder,lifeguard_cls",
+        [
+            (bugs.use_after_free, AddrCheck),
+            (bugs.uninitialized_computation, MemCheck),
+            (attacks.buffer_overflow_function_pointer, TaintCheck),
+        ],
+        ids=["addrcheck", "memcheck", "taintcheck"],
+    )
+    def test_replay_matches_live_run(self, tmp_path, program_builder, lifeguard_cls):
+        path, live = capture(tmp_path, program_builder(), lifeguard_cls())
+        replayed = replay_trace(path, lifeguard_cls, OPTIMIZED_CONFIG)
+        assert replayed.reports == live.reports
+        assert replayed.errors_detected == live.errors_detected > 0
+        assert replayed.dispatch.records_consumed == live.dispatch.records_consumed
+        assert replayed.dispatch.events_handled == live.dispatch.events_handled
+        assert replayed.dispatch.handler_instructions == live.dispatch.handler_instructions
+        assert replayed.accelerator == live.accelerator
+
+    def test_replay_respects_config(self, tmp_path):
+        path, _ = capture(tmp_path, build_copy_loop(32), MemCheck())
+        optimized = replay_trace(path, MemCheck, OPTIMIZED_CONFIG)
+        baseline = replay_trace(path, "MemCheck", BASELINE_CONFIG)
+        # The baseline pipeline delivers more events (no IT/IF filtering).
+        assert baseline.dispatch.events_handled > optimized.dispatch.events_handled
+
+    def test_replay_many_from_one_capture(self, tmp_path):
+        path, _ = capture(tmp_path, bugs.use_after_free(), AddrCheck())
+        first = replay_trace(path, AddrCheck, OPTIMIZED_CONFIG)
+        second = replay_trace(path, AddrCheck, OPTIMIZED_CONFIG)
+        assert first.reports == second.reports
+        assert first.dispatch == second.dispatch
+
+
+class TestParallelReplay:
+    def test_parallel_matches_sequential_sharded(self, tmp_path):
+        path, _ = capture(tmp_path, bugs.use_after_free(), AddrCheck(), chunk_bytes=128)
+        replay = ParallelReplay(path, AddrCheck, OPTIMIZED_CONFIG, workers=2)
+        assert len(replay.shards()) == 2
+        parallel = replay.run()
+        sequential = replay.run_sequential()
+        assert parallel.workers == 2
+        assert parallel.records == sequential.records
+        assert parallel.dispatch == sequential.dispatch
+        assert parallel.accelerator == sequential.accelerator
+        assert parallel.reports == sequential.reports
+
+    def test_shards_partition_all_chunks(self, tmp_path):
+        path, _ = capture(tmp_path, build_copy_loop(64), AddrCheck(), chunk_bytes=128)
+        for workers in (1, 2, 3, 7):
+            replay = ParallelReplay(path, AddrCheck, workers=workers)
+            spans = replay.shards()
+            flattened = [index for span in spans for index in span]
+            assert flattened == list(range(replay.num_chunks))
+            assert all(span for span in spans)
+
+    def test_single_worker_is_sequential(self, tmp_path):
+        path, _ = capture(tmp_path, build_copy_loop(16), AddrCheck())
+        replay = ParallelReplay(path, AddrCheck, OPTIMIZED_CONFIG, workers=1)
+        result = replay.run()
+        assert result.workers == 1
+
+    def test_worker_count_validation(self, tmp_path):
+        path, _ = capture(tmp_path, build_copy_loop(8), AddrCheck())
+        with pytest.raises(ValueError):
+            ParallelReplay(path, AddrCheck, workers=0)
+
+    def test_unknown_lifeguard_name(self, tmp_path):
+        path, _ = capture(tmp_path, build_copy_loop(8), AddrCheck())
+        with pytest.raises(KeyError, match="unknown lifeguard"):
+            replay_trace(path, "NotALifeguard")
+
+
+class TestReportMerging:
+    def test_merge_is_order_insensitive(self, tmp_path):
+        path, live = capture(tmp_path, bugs.use_after_free(), AddrCheck())
+        merged_forward = merge_reports(live.reports[: len(live.reports) // 2],
+                                       live.reports[len(live.reports) // 2:])
+        merged_reverse = merge_reports(live.reports[len(live.reports) // 2:],
+                                       live.reports[: len(live.reports) // 2])
+        assert merged_forward == merged_reverse
+        assert sorted(r.sort_key() for r in live.reports) == [
+            r.sort_key() for r in merged_forward
+        ]
+
+    def test_report_counts(self, tmp_path):
+        path, live = capture(tmp_path, bugs.use_after_free(), AddrCheck())
+        counts = report_counts(live.reports)
+        assert sum(counts.values()) == len(live.reports)
+
+
+class TestMapperAccessor:
+    def test_public_accessor_lazily_creates(self):
+        lifeguard = AddrCheck()
+        mapper = lifeguard.mapper()
+        assert isinstance(mapper, MetadataMapper)
+        assert lifeguard.mapper() is mapper
+
+    def test_stats_without_mapper_are_empty(self):
+        lifeguard = AddrCheck()
+        assert lifeguard.mapper_stats().translations == 0

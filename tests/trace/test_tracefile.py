@@ -1,0 +1,158 @@
+"""Trace-file tests: chunked round-trip, index integrity, corruption paths."""
+
+import random
+import struct
+
+import pytest
+
+from repro.core.events import AnnotationRecord, EventType, InstructionRecord
+from repro.trace.tracefile import (
+    TraceFormatError,
+    TraceReader,
+    TraceWriter,
+)
+from tests.trace.test_codec import _random_record
+
+
+def _sample_records(count=500, seed=11):
+    rng = random.Random(seed)
+    return [_random_record(rng) for _ in range(count)]
+
+
+def _write_trace(path, records, chunk_bytes=512, compress=True):
+    with TraceWriter(path, chunk_bytes=chunk_bytes, compress=compress) as writer:
+        writer.extend(records)
+    return writer.stats
+
+
+@pytest.mark.parametrize("compress", [False, True], ids=["raw", "zlib"])
+class TestRoundTrip:
+    def test_records_survive_chunking(self, tmp_path, compress):
+        records = _sample_records()
+        path = tmp_path / "t.trace"
+        stats = _write_trace(path, records, compress=compress)
+        assert stats.chunks > 1  # small chunk_bytes forces multiple chunks
+        with TraceReader(path) as reader:
+            assert list(reader) == records
+            assert reader.num_records == len(records)
+            assert reader.num_chunks == stats.chunks
+
+    def test_chunks_decode_independently_and_in_any_order(self, tmp_path, compress):
+        records = _sample_records()
+        path = tmp_path / "t.trace"
+        _write_trace(path, records, compress=compress)
+        with TraceReader(path) as reader:
+            chunks = [reader.read_chunk(i) for i in reversed(range(reader.num_chunks))]
+            recovered = [record for chunk in reversed(chunks) for record in chunk]
+            assert recovered == records
+            assert sum(info.records for info in reader.chunks) == len(records)
+
+    def test_stats_roundtrip_through_index(self, tmp_path, compress):
+        records = _sample_records()
+        path = tmp_path / "t.trace"
+        written = _write_trace(path, records, compress=compress)
+        with TraceReader(path) as reader:
+            assert reader.stats.records == written.records
+            assert reader.stats.instructions == written.instructions
+            assert reader.stats.annotations == written.annotations
+            assert reader.stats.raw_bytes == written.raw_bytes
+            assert reader.stats.stored_bytes == written.stored_bytes
+
+
+class TestCompression:
+    def test_zlib_shrinks_storage(self, tmp_path):
+        # A loopy record stream is highly redundant; zlib must win.
+        records = [
+            InstructionRecord(pc=0x1000 + 4 * (i % 16), event_type=EventType.MEM_TO_REG,
+                              dest_reg=1, src_addr=0x0900_0000 + 4 * (i % 256),
+                              size=4, is_load=True)
+            for i in range(4000)
+        ]
+        raw = _write_trace(tmp_path / "raw.trace", records, compress=False)
+        packed = _write_trace(tmp_path / "zlib.trace", records, compress=True)
+        assert packed.stored_bytes < raw.stored_bytes
+        assert packed.compression_ratio > 1.5
+        assert packed.bytes_per_record < 2.0
+
+
+class TestErrorPaths:
+    def test_missing_file_header(self, tmp_path):
+        path = tmp_path / "short.trace"
+        path.write_bytes(b"LBA")
+        with pytest.raises(TraceFormatError, match="shorter than trace header"):
+            TraceReader(path)
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_bytes(b"NOTTRACE" + b"\x00" * 16)
+        with pytest.raises(TraceFormatError, match="bad magic"):
+            TraceReader(path)
+
+    def test_unclosed_writer_has_no_index(self, tmp_path):
+        path = tmp_path / "open.trace"
+        writer = TraceWriter(path, chunk_bytes=64)
+        writer.extend(_sample_records(50))
+        writer._file.flush()  # simulate a crash before close()
+        with pytest.raises(TraceFormatError, match="missing index"):
+            TraceReader(path)
+        writer.close()
+        with TraceReader(path) as reader:
+            assert reader.num_records == 50
+
+    def test_truncated_file_detected(self, tmp_path):
+        path = tmp_path / "trunc.trace"
+        _write_trace(path, _sample_records())
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(TraceFormatError):
+            TraceReader(path)
+
+    def test_corrupt_compressed_chunk(self, tmp_path):
+        path = tmp_path / "corrupt.trace"
+        _write_trace(path, _sample_records(), compress=True)
+        with TraceReader(path) as reader:
+            chunk = reader.chunks[1]
+        data = bytearray(path.read_bytes())
+        for i in range(chunk.offset, chunk.offset + chunk.stored_len):
+            data[i] ^= 0xA5
+        path.write_bytes(bytes(data))
+        with TraceReader(path) as reader:
+            reader.read_chunk(0)  # untouched chunk still reads fine
+            with pytest.raises(TraceFormatError, match="chunk 1"):
+                reader.read_chunk(1)
+
+    def test_corrupt_raw_chunk(self, tmp_path):
+        path = tmp_path / "corrupt_raw.trace"
+        _write_trace(path, _sample_records(), compress=False)
+        with TraceReader(path) as reader:
+            chunk = reader.chunks[0]
+        data = bytearray(path.read_bytes())
+        for i in range(chunk.offset, chunk.offset + chunk.stored_len):
+            data[i] = 0xFF
+        path.write_bytes(bytes(data))
+        with TraceReader(path) as reader:
+            with pytest.raises(TraceFormatError, match="chunk 0 corrupt"):
+                reader.read_chunk(0)
+
+    def test_index_offset_pointing_into_payload(self, tmp_path):
+        path = tmp_path / "badidx.trace"
+        _write_trace(path, _sample_records())
+        data = bytearray(path.read_bytes())
+        # Header layout: magic(8) version(2) flags(2) chunk_bytes(4) index_offset(8).
+        struct.pack_into("<Q", data, 16, 17)
+        path.write_bytes(bytes(data))
+        with pytest.raises(TraceFormatError):
+            TraceReader(path)
+
+    def test_chunk_index_out_of_range(self, tmp_path):
+        path = tmp_path / "range.trace"
+        _write_trace(path, _sample_records(20))
+        with TraceReader(path) as reader:
+            with pytest.raises(IndexError):
+                reader.read_chunk(reader.num_chunks)
+
+    def test_append_after_close_rejected(self, tmp_path):
+        writer = TraceWriter(tmp_path / "closed.trace")
+        writer.close()
+        with pytest.raises(ValueError, match="closed"):
+            writer.append(AnnotationRecord(EventType.MALLOC, address=1, size=1))
