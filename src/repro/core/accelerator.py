@@ -27,16 +27,24 @@ from typing import List, Optional, Union
 from repro.core.config import IFConfig, ITConfig, MTLBConfig, SystemConfig
 from repro.core.etct import ETCT, ETCTEntry, InvalidationPolicy
 from repro.core.events import (
+    PROPAGATION_ORDINAL_MASK,
     AnnotationRecord,
     DeliveredEvent,
     EventType,
     InstructionRecord,
 )
 from repro.core.idempotent_filter import IdempotentFilter
-from repro.core.inheritance_tracking import InheritanceTracker
+from repro.core.inheritance_tracking import InheritanceTracker, ITState
 from repro.core.mtlb import MetadataTLB
 
 Record = Union[InstructionRecord, AnnotationRecord]
+
+#: Precomputed ordinals of the checking event types (hot classify path).
+_ORD_MEM_LOAD = EventType.MEM_LOAD.ordinal
+_ORD_MEM_STORE = EventType.MEM_STORE.ordinal
+_ORD_ADDR_COMPUTE = EventType.ADDR_COMPUTE.ordinal
+_ORD_COND_TEST = EventType.COND_TEST.ordinal
+_ORD_INDIRECT_JUMP = EventType.INDIRECT_JUMP.ordinal
 
 
 @dataclass(frozen=True)
@@ -117,6 +125,8 @@ class EventAccelerator:
         self._uses_propagation = any(
             event_type.is_propagation for event_type in etct.registered_types()
         )
+        #: live ordinal-indexed ETCT entry table (mutated in place by register)
+        self._table = etct.handler_table()
 
     # ------------------------------------------------------------------ main entry
 
@@ -125,52 +135,83 @@ class EventAccelerator:
 
         Returns the events to deliver to the lifeguard, in order.
         """
-        self.stats.records_processed += 1
-        if isinstance(record, AnnotationRecord):
+        stats = self.stats
+        stats.records_processed += 1
+        # Exact-type checks cover the (only) concrete record types; the
+        # isinstance normalization handles hypothetical subclasses without a
+        # second copy of the dispatch body.
+        kind = type(record)
+        if kind is not InstructionRecord and kind is not AnnotationRecord:
+            if isinstance(record, InstructionRecord):
+                kind = InstructionRecord
+            elif isinstance(record, AnnotationRecord):
+                kind = AnnotationRecord
+            else:
+                raise TypeError(f"unsupported record type {type(record)!r}")
+        if kind is AnnotationRecord:
             return self._process_annotation(record)
-        if isinstance(record, InstructionRecord):
-            return self._process_instruction(record)
-        raise TypeError(f"unsupported record type {type(record)!r}")
-
-    # ------------------------------------------------------------------ instructions
-
-    def _process_instruction(self, record: InstructionRecord) -> List[DeliveredEvent]:
-        self.stats.instruction_records += 1
-        delivered: List[DeliveredEvent] = []
-        delivered.extend(self._propagation_events(record))
-        delivered.extend(self._check_events(record))
+        # Instruction path, inlined (one call layer per record saved).
+        stats.instruction_records += 1
+        delivered = self._propagation_events(record)
+        # Checking events only arise from memory, conditional-test or
+        # indirect-jump instructions; skip classification otherwise.
+        if record.is_load or record.is_store or record.is_cond_test or record.is_indirect_jump:
+            delivered.extend(self._check_events(record))
         return delivered
 
     def _propagation_events(self, record: InstructionRecord) -> List[DeliveredEvent]:
-        if not self._uses_propagation or not record.event_type.is_propagation:
+        if not self._uses_propagation or not (
+            (PROPAGATION_ORDINAL_MASK >> record.event_type.ordinal) & 1
+        ):
             return []
         self.stats.propagation_events_in += 1
         if self.it is not None:
             candidates = self.it.process(record)
+            if not candidates:
+                # Consumed by the IT table: nothing to filter or deliver.
+                return candidates
         else:
             candidates = [DeliveredEvent.from_instruction(record)]
+        table = self._table
         delivered = [
-            event for event in candidates if self.etct.is_registered(event.event_type)
+            event
+            for event in candidates
+            if (entry := table[event.event_type.ordinal]) is not None
+            and entry.handler is not None
         ]
         self.stats.propagation_events_delivered += len(delivered)
         return delivered
 
     def _check_events(self, record: InstructionRecord) -> List[DeliveredEvent]:
         delivered: List[DeliveredEvent] = []
+        table = self._table
+        stats = self.stats
+        idempotent_filter = self.idempotent_filter
+        filter_key = self.etct.filter_key
+        it = self.it
         for event in self._classify_checks(record):
-            entry = self.etct.lookup(event.event_type)
+            entry = table[event.event_type.ordinal]
             if entry is None or entry.handler is None:
                 continue
-            delivered.extend(self._flush_registers_for_check(record, event))
-            self.stats.check_events_in += 1
+            # Register-flush check: only register-consulting check events
+            # (not loads/stores) with at least one IT entry in the ``addr``
+            # state can require a flush.
             if (
-                self.idempotent_filter is not None
-                and entry.cacheable
-                and self.idempotent_filter.lookup_insert(self.etct.filter_key(entry, event))
+                it is not None
+                and it.has_addr_state
+                and event.event_type is not EventType.MEM_LOAD
+                and event.event_type is not EventType.MEM_STORE
             ):
-                self.stats.check_events_filtered += 1
+                delivered.extend(self._flush_registers_for_check(record, event))
+            stats.check_events_in += 1
+            if (
+                idempotent_filter is not None
+                and entry.cacheable
+                and idempotent_filter.lookup_insert(filter_key(entry, event))
+            ):
+                stats.check_events_filtered += 1
                 continue
-            self.stats.check_events_delivered += 1
+            stats.check_events_delivered += 1
             delivered.append(event)
         return delivered
 
@@ -185,92 +226,106 @@ class EventAccelerator:
         software copy of that register's metadata is stale, so the hardware
         first delivers the ``mem_to_reg`` flush (moving the register to the
         ``in lifeguard`` state) and only then the checking event.
-        """
-        if self.it is None or event.event_type is EventType.MEM_LOAD or (
-            event.event_type is EventType.MEM_STORE
-        ):
-            return []
-        flushed: List[DeliveredEvent] = []
-        from repro.core.inheritance_tracking import ITState
 
+        Precondition (enforced by the only caller, :meth:`_check_events`):
+        IT is enabled with at least one ``addr``-state register, and the
+        event is not a load/store check.
+        """
+        flushed: List[DeliveredEvent] = []
+        table = self._table
         for reg in (event.src_reg, event.base_reg, event.index_reg):
             if reg is None or reg >= self.config.it.num_registers:
                 continue
             if self.it.state_of(reg) is ITState.ADDR:
                 flush_event = self.it._flush_register(reg, record)
-                if self.etct.is_registered(flush_event.event_type):
+                entry = table[flush_event.event_type.ordinal]
+                if entry is not None and entry.handler is not None:
                     flushed.append(flush_event)
                     self.stats.propagation_events_delivered += 1
         return flushed
 
     def _classify_checks(self, record: InstructionRecord) -> List[DeliveredEvent]:
+        """Derive the checking events of ``record`` the lifeguard registered for.
+
+        Check events whose type has no registered handler are never
+        constructed: classification consults the flat ETCT table first, so a
+        propagation-only lifeguard pays nothing per load/store here.  This
+        is observationally identical to classifying everything and dropping
+        unregistered events afterwards (dropped events were never counted).
+        """
+        is_load = record.is_load
+        is_store = record.is_store
+        if not (is_load or is_store or record.is_cond_test or record.is_indirect_jump):
+            return []
+        table = self._table
         events: List[DeliveredEvent] = []
-        if record.is_load and record.src_addr is not None:
-            events.append(
-                DeliveredEvent(
-                    event_type=EventType.MEM_LOAD,
-                    pc=record.pc,
-                    src_addr=record.src_addr,
-                    dest_addr=record.src_addr,
-                    size=record.size,
-                    thread_id=record.thread_id,
-                    base_reg=record.base_reg,
-                    index_reg=record.index_reg,
-                    origin=record,
-                )
-            )
-        if record.is_store and record.dest_addr is not None:
-            events.append(
-                DeliveredEvent(
-                    event_type=EventType.MEM_STORE,
-                    pc=record.pc,
-                    dest_addr=record.dest_addr,
-                    size=record.size,
-                    thread_id=record.thread_id,
-                    base_reg=record.base_reg,
-                    index_reg=record.index_reg,
-                    origin=record,
-                )
-            )
-        if (record.is_load or record.is_store) and (
-            record.base_reg is not None or record.index_reg is not None
+        # DeliveredEvent is constructed positionally here: (event_type, pc,
+        # dest_reg, src_reg, dest_addr, src_addr, size, thread_id, base_reg,
+        # index_reg, payload, origin).
+        if (
+            is_load
+            and record.src_addr is not None
+            and (entry := table[_ORD_MEM_LOAD]) is not None
+            and entry.handler is not None
         ):
             events.append(
                 DeliveredEvent(
-                    event_type=EventType.ADDR_COMPUTE,
-                    pc=record.pc,
-                    base_reg=record.base_reg,
-                    index_reg=record.index_reg,
-                    dest_addr=record.dest_addr if record.dest_addr is not None else record.src_addr,
-                    size=record.size,
-                    thread_id=record.thread_id,
-                    origin=record,
+                    EventType.MEM_LOAD, record.pc, None, None,
+                    record.src_addr, record.src_addr, record.size,
+                    record.thread_id, record.base_reg, record.index_reg,
+                    None, record,
                 )
             )
-        if record.is_cond_test:
+        if (
+            is_store
+            and record.dest_addr is not None
+            and (entry := table[_ORD_MEM_STORE]) is not None
+            and entry.handler is not None
+        ):
             events.append(
                 DeliveredEvent(
-                    event_type=EventType.COND_TEST,
-                    pc=record.pc,
-                    src_reg=record.src_reg,
-                    src_addr=record.src_addr,
-                    dest_addr=record.src_addr,
-                    size=record.size,
-                    thread_id=record.thread_id,
-                    origin=record,
+                    EventType.MEM_STORE, record.pc, None, None,
+                    record.dest_addr, None, record.size,
+                    record.thread_id, record.base_reg, record.index_reg,
+                    None, record,
                 )
             )
-        if record.is_indirect_jump:
+        if (
+            (is_load or is_store)
+            and (record.base_reg is not None or record.index_reg is not None)
+            and (entry := table[_ORD_ADDR_COMPUTE]) is not None
+            and entry.handler is not None
+        ):
             events.append(
                 DeliveredEvent(
-                    event_type=EventType.INDIRECT_JUMP,
-                    pc=record.pc,
-                    src_reg=record.src_reg,
-                    src_addr=record.src_addr,
-                    dest_addr=record.src_addr,
-                    size=record.size or 4,
-                    thread_id=record.thread_id,
-                    origin=record,
+                    EventType.ADDR_COMPUTE, record.pc, None, None,
+                    record.dest_addr if record.dest_addr is not None else record.src_addr,
+                    None, record.size, record.thread_id,
+                    record.base_reg, record.index_reg, None, record,
+                )
+            )
+        if (
+            record.is_cond_test
+            and (entry := table[_ORD_COND_TEST]) is not None
+            and entry.handler is not None
+        ):
+            events.append(
+                DeliveredEvent(
+                    EventType.COND_TEST, record.pc, None, record.src_reg,
+                    record.src_addr, record.src_addr, record.size,
+                    record.thread_id, None, None, None, record,
+                )
+            )
+        if (
+            record.is_indirect_jump
+            and (entry := table[_ORD_INDIRECT_JUMP]) is not None
+            and entry.handler is not None
+        ):
+            events.append(
+                DeliveredEvent(
+                    EventType.INDIRECT_JUMP, record.pc, None, record.src_reg,
+                    record.src_addr, record.src_addr, record.size or 4,
+                    record.thread_id, None, None, None, record,
                 )
             )
         return events
@@ -279,7 +334,8 @@ class EventAccelerator:
 
     def _process_annotation(self, record: AnnotationRecord) -> List[DeliveredEvent]:
         self.stats.annotation_records += 1
-        entry = self.etct.lookup(record.event_type)
+        table = self._table
+        entry = table[record.event_type.ordinal]
         delivered: List[DeliveredEvent] = []
         event = DeliveredEvent.from_annotation(record)
         # Rare events that will rewrite metadata over a range must first flush
@@ -295,7 +351,8 @@ class EventAccelerator:
                 thread_id=record.thread_id,
             )
             for flush_event in self.it._conflict_events(synthetic, record.address, record.size):
-                if self.etct.is_registered(flush_event.event_type):
+                flush_entry = table[flush_event.event_type.ordinal]
+                if flush_entry is not None and flush_entry.handler is not None:
                     delivered.append(flush_event)
                     self.stats.propagation_events_delivered += 1
         if self.idempotent_filter is not None and entry is not None:

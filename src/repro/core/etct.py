@@ -15,9 +15,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
-from repro.core.events import DeliveredEvent, EventType
+from repro.core.events import NUM_EVENT_TYPES, DeliveredEvent, EventType
 
 #: Signature of a lifeguard event handler.
 EventHandler = Callable[[DeliveredEvent], None]
@@ -71,17 +71,42 @@ class ETCTEntry:
         unknown = set(self.cacheable_fields) - set(FILTERABLE_FIELDS)
         if unknown:
             raise ValueError(f"unknown cacheable fields: {sorted(unknown)}")
+        # Specialized filter-key shape for the two ubiquitous field tuples;
+        # 0 falls back to the generic field-name loop in ETCT.filter_key.
+        if self.cacheable_fields == ("address", "size"):
+            self._filter_mode = 1
+        elif self.cacheable_fields == ("address", "size", "thread_id"):
+            self._filter_mode = 2
+        else:
+            self._filter_mode = 0
 
 
 class ETCT:
-    """The event type configuration table of one lifeguard."""
+    """The event type configuration table of one lifeguard.
+
+    Besides the entry dict (kept for iteration), the table maintains a flat
+    list indexed by ``EventType.ordinal`` -- the software analogue of the
+    hardware ETCT's direct-indexed SRAM.  The list is pre-sized and mutated
+    in place, so the accelerator and dispatcher can hold a reference to it
+    across registrations and index it without any hashing.
+    """
 
     def __init__(self) -> None:
         self._entries: Dict[EventType, ETCTEntry] = {}
+        self._table: List[Optional[ETCTEntry]] = [None] * NUM_EVENT_TYPES
 
     def register(self, entry: ETCTEntry) -> None:
         """Register (or replace) the entry for ``entry.event_type``."""
         self._entries[entry.event_type] = entry
+        self._table[entry.event_type.ordinal] = entry
+
+    def handler_table(self) -> List[Optional[ETCTEntry]]:
+        """The live ordinal-indexed entry table (``table[et.ordinal]``).
+
+        The returned list object is stable for the table's lifetime; later
+        registrations mutate it in place.
+        """
+        return self._table
 
     def register_handler(
         self,
@@ -113,11 +138,11 @@ class ETCT:
 
     def lookup(self, event_type: EventType) -> Optional[ETCTEntry]:
         """Return the entry for ``event_type`` or ``None`` if unregistered."""
-        return self._entries.get(event_type)
+        return self._table[event_type.ordinal]
 
     def is_registered(self, event_type: EventType) -> bool:
         """True if a handler is registered for ``event_type``."""
-        entry = self._entries.get(event_type)
+        entry = self._table[event_type.ordinal]
         return entry is not None and entry.handler is not None
 
     def registered_types(self) -> Iterable[EventType]:
@@ -132,10 +157,17 @@ class ETCT:
         check concerns (destination address for stores, source address for
         loads).
         """
+        address = event.dest_addr
+        if address is None:
+            address = event.src_addr
+        mode = entry._filter_mode
+        if mode == 1:
+            return (entry.check_category, address, event.size)
+        if mode == 2:
+            return (entry.check_category, address, event.size, event.thread_id)
         values = []
         for name in entry.cacheable_fields:
             if name == "address":
-                address = event.dest_addr if event.dest_addr is not None else event.src_addr
                 values.append(address)
             elif name == "size":
                 values.append(event.size)

@@ -17,13 +17,21 @@ This module defines:
 * :class:`InstructionRecord` -- the per-retired-instruction log record
   (program counter, event type, operand identifiers, data addresses/sizes).
 * :class:`AnnotationRecord` -- software-inserted high-level event records.
+
+Because billions of records flow through the consumer pipeline, the record
+types are tuple-backed (:class:`typing.NamedTuple`) rather than dataclasses:
+construction is a single ``tuple.__new__`` instead of one ``__setattr__``
+per field, instances carry no per-object ``__dict__``, and immutability
+comes for free.  Each :class:`EventType` member additionally carries a
+precomputed integer ``ordinal`` (its definition index) so hot paths can use
+flat list tables instead of enum-keyed dict lookups.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import NamedTuple, Optional, Tuple
 
 
 class EventClass(enum.Enum):
@@ -51,6 +59,10 @@ class EventType(enum.Enum):
     paper and describes how an instruction moves data; the second block
     contains per-instruction checking events; the third block contains the
     rare annotation events of Figure 1.
+
+    Every member carries an ``ordinal`` attribute -- its index in definition
+    order -- assigned once at import time.  Ordinals index the flat handler
+    tables of the ETCT and the wire-id space of the trace codec.
     """
 
     # --- propagation / metadata-update events (Figure 5) -------------------
@@ -94,28 +106,22 @@ class EventType(enum.Enum):
     @property
     def event_class(self) -> EventClass:
         """Return the coarse :class:`EventClass` of this event type."""
-        if self in _PROPAGATION_EVENTS:
-            return EventClass.UPDATE
-        if self in _CHECK_EVENTS:
-            return EventClass.CHECK
-        if self is EventType.CONTROL:
-            return EventClass.NEUTRAL
-        return EventClass.RARE
+        return _CLASS_BY_ORDINAL[self.ordinal]
 
     @property
     def is_propagation(self) -> bool:
         """True if the event belongs to the Figure 5 propagation taxonomy."""
-        return self in _PROPAGATION_EVENTS
+        return (PROPAGATION_ORDINAL_MASK >> self.ordinal) & 1 == 1
 
     @property
     def is_check(self) -> bool:
         """True if the event is an instruction-grain checking event."""
-        return self in _CHECK_EVENTS
+        return (CHECK_ORDINAL_MASK >> self.ordinal) & 1 == 1
 
     @property
     def is_rare(self) -> bool:
         """True if the event is a rare, software-annotated event."""
-        return self.event_class is EventClass.RARE
+        return _CLASS_BY_ORDINAL[self.ordinal] is EventClass.RARE
 
 
 _PROPAGATION_EVENTS = frozenset(
@@ -154,15 +160,56 @@ BINARY_DEST_REG_EVENTS = frozenset(
 #: Syscall event types that introduce tainted data for TAINTCHECK.
 TAINT_SOURCE_SYSCALLS = frozenset({EventType.SYSCALL_READ, EventType.SYSCALL_RECV})
 
+# ---------------------------------------------------------------------------
+# Precomputed ordinal tables.  ``member.ordinal`` is the definition index of
+# an event type; the masks let hot paths test taxonomy membership with a
+# shift-and-and instead of a frozenset hash lookup, and the tuple tables map
+# ordinals back to members / classes for flat-list dispatch structures.
+# ---------------------------------------------------------------------------
 
-@dataclass(frozen=True)
-class InstructionRecord:
+#: All event types in definition (= ordinal) order.
+EVENT_TYPES: Tuple[EventType, ...] = tuple(EventType)
+#: Number of event types; the size of every ordinal-indexed table.
+NUM_EVENT_TYPES: int = len(EVENT_TYPES)
+
+for _ordinal, _event_type in enumerate(EVENT_TYPES):
+    _event_type.ordinal = _ordinal
+
+#: Bitmask over ordinals of the Figure 5 propagation taxonomy.
+PROPAGATION_ORDINAL_MASK: int = 0
+for _event_type in _PROPAGATION_EVENTS:
+    PROPAGATION_ORDINAL_MASK |= 1 << _event_type.ordinal
+
+#: Bitmask over ordinals of the instruction-grain checking events.
+CHECK_ORDINAL_MASK: int = 0
+for _event_type in _CHECK_EVENTS:
+    CHECK_ORDINAL_MASK |= 1 << _event_type.ordinal
+
+_CLASS_BY_ORDINAL: Tuple[EventClass, ...] = tuple(
+    EventClass.UPDATE
+    if event_type in _PROPAGATION_EVENTS
+    else EventClass.CHECK
+    if event_type in _CHECK_EVENTS
+    else EventClass.NEUTRAL
+    if event_type is EventType.CONTROL
+    else EventClass.RARE
+    for event_type in EVENT_TYPES
+)
+
+del _ordinal, _event_type
+
+
+class InstructionRecord(NamedTuple):
     """A per-retired-instruction log record.
 
     Conceptually matches the paper's record: program counter, instruction
     type, input/output operand identifiers and any data addresses.  The
     compressed on-wire size is modelled separately by
     :mod:`repro.lba.record`.
+
+    Tuple-backed for throughput: the consumer pipeline constructs one of
+    these per retired instruction, so creation cost dominates the decode
+    hot path.  Field order is part of the (positional-construction) API.
 
     Attributes:
         pc: program counter of the retired instruction.
@@ -215,13 +262,12 @@ class InstructionRecord:
         return None
 
 
-@dataclass(frozen=True)
-class AnnotationRecord:
+class AnnotationRecord(NamedTuple):
     """A software-inserted high-level event record.
 
     Wrapper libraries around ``malloc``/``free``, the pthread lock
     primitives and the system call layer insert these records into the log
-    (Section 3 of the paper).
+    (Section 3 of the paper).  Tuple-backed like :class:`InstructionRecord`.
 
     Attributes:
         event_type: one of the rare :class:`EventType` members.
@@ -243,10 +289,10 @@ class AnnotationRecord:
 
 
 #: A log record is either a per-instruction record or an annotation record.
-Record = object  # documented alias; isinstance checks use the two dataclasses
+Record = object  # documented alias; isinstance checks use the two record types
 
 
-@dataclass
+@dataclass(slots=True)
 class DeliveredEvent:
     """An event delivered to the lifeguard after acceleration.
 
@@ -275,28 +321,34 @@ class DeliveredEvent:
     def from_instruction(cls, record: InstructionRecord, event_type: Optional[EventType] = None) -> "DeliveredEvent":
         """Build a delivered event mirroring an instruction record."""
         return cls(
-            event_type=event_type or record.event_type,
-            pc=record.pc,
-            dest_reg=record.dest_reg,
-            src_reg=record.src_reg,
-            dest_addr=record.dest_addr,
-            src_addr=record.src_addr,
-            size=record.size,
-            thread_id=record.thread_id,
-            base_reg=record.base_reg,
-            index_reg=record.index_reg,
-            origin=record,
+            event_type or record.event_type,
+            record.pc,
+            record.dest_reg,
+            record.src_reg,
+            record.dest_addr,
+            record.src_addr,
+            record.size,
+            record.thread_id,
+            record.base_reg,
+            record.index_reg,
+            None,
+            record,
         )
 
     @classmethod
     def from_annotation(cls, record: AnnotationRecord) -> "DeliveredEvent":
         """Build a delivered event mirroring an annotation record."""
         return cls(
-            event_type=record.event_type,
-            pc=record.pc,
-            dest_addr=record.address,
-            size=record.size,
-            thread_id=record.thread_id,
-            payload=record.payload,
-            origin=record,
+            record.event_type,
+            record.pc,
+            None,
+            None,
+            record.address,
+            None,
+            record.size,
+            record.thread_id,
+            None,
+            None,
+            record.payload,
+            record,
         )

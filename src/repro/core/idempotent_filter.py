@@ -52,6 +52,9 @@ class IdempotentFilter:
         self.config = config or IFConfig()
         self.stats = IFStats()
         self._sets: Dict[int, OrderedDict[Hashable, None]] = {}
+        # geometry, precomputed (property lookups are too slow per event)
+        self._num_sets = self.config.num_sets
+        self._ways = self.config.ways
 
     # ------------------------------------------------------------------ geometry
 
@@ -78,18 +81,21 @@ class IdempotentFilter:
         A hit means the incoming event is idempotent with a recently
         delivered one and can be discarded.
         """
-        self.stats.lookups += 1
-        index = self._set_index(key)
-        entries = self._sets.setdefault(index, OrderedDict())
+        stats = self.stats
+        stats.lookups += 1
+        index = 0 if self._num_sets == 1 else hash(key) % self._num_sets
+        entries = self._sets.get(index)
+        if entries is None:
+            entries = self._sets[index] = OrderedDict()
         if key in entries:
-            self.stats.hits += 1
+            stats.hits += 1
             entries.move_to_end(key)
             return True
-        self.stats.misses += 1
-        if len(entries) >= self.ways:
+        stats.misses += 1
+        if len(entries) >= self._ways:
             entries.popitem(last=False)
         entries[key] = None
-        self.stats.insertions += 1
+        stats.insertions += 1
         return False
 
     def contains(self, key: Hashable) -> bool:

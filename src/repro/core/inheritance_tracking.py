@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.core.config import ITConfig
-from repro.core.events import DeliveredEvent, EventType, InstructionRecord
+from repro.core.events import EVENT_TYPES, DeliveredEvent, EventType, InstructionRecord
 
 
 class ITState(enum.Enum):
@@ -51,7 +51,7 @@ class ITAction(enum.Enum):
     TRANSFORM = "transform"
 
 
-@dataclass
+@dataclass(slots=True)
 class ITEntry:
     """One register's inheritance record."""
 
@@ -117,6 +117,10 @@ class InheritanceTracker:
         self.config = config or ITConfig()
         self._table: List[ITEntry] = [ITEntry() for _ in range(self.config.num_registers)]
         self.stats = ITStats()
+        #: number of table entries currently in the ``addr`` state; lets the
+        #: conflict detector skip the overlap scan entirely when no register
+        #: inherits from memory (the common case in check-heavy phases)
+        self._addr_count = 0
 
     # ------------------------------------------------------------------ helpers
 
@@ -128,17 +132,29 @@ class InheritanceTracker:
         """Current IT state of register ``reg``."""
         return self._table[reg].state
 
+    @property
+    def has_addr_state(self) -> bool:
+        """True if any register is currently in the ``addr`` state.
+
+        O(1) via the maintained counter; when False no conflict flush can
+        possibly be needed, which the accelerator uses as a fast-path gate.
+        """
+        return self._addr_count > 0
+
     def reset(self) -> None:
         """Clear the whole table (e.g. at lifeguard (re)configuration)."""
         for entry in self._table:
             entry.state = ITState.CLEAR
             entry.address = None
             entry.size = 0
+        self._addr_count = 0
 
     def _set_clear(self, reg: Optional[int]) -> None:
         if reg is None or reg >= len(self._table):
             return
         entry = self._table[reg]
+        if entry.state is ITState.ADDR:
+            self._addr_count -= 1
         entry.state = ITState.CLEAR
         entry.address = None
         entry.size = 0
@@ -147,6 +163,8 @@ class InheritanceTracker:
         if reg is None or reg >= len(self._table) or address is None:
             return
         entry = self._table[reg]
+        if entry.state is not ITState.ADDR:
+            self._addr_count += 1
         entry.state = ITState.ADDR
         entry.address = address
         entry.size = max(size, 1)
@@ -155,6 +173,8 @@ class InheritanceTracker:
         if reg is None or reg >= len(self._table):
             return
         entry = self._table[reg]
+        if entry.state is ITState.ADDR:
+            self._addr_count -= 1
         entry.state = ITState.IN_LIFEGUARD
         entry.address = None
         entry.size = 0
@@ -163,7 +183,7 @@ class InheritanceTracker:
 
     def _conflicting_registers(self, address: Optional[int], size: int,
                                exclude: Optional[int] = None) -> List[int]:
-        if address is None or size <= 0:
+        if address is None or size <= 0 or not self._addr_count:
             return []
         return [
             reg
@@ -210,13 +230,10 @@ class InheritanceTracker:
         lifeguard, in order.  Conflict-resolution ``mem_to_reg`` flush events
         precede the event they protect, exactly as in Section 4.3.
         """
-        event_type = record.event_type
-        if not event_type.is_propagation:
-            raise ValueError(f"IT received a non-propagation event: {event_type}")
-        self.stats.events_seen += 1
-        handler = _TRANSITIONS.get(event_type)
+        handler = _TRANSITIONS_BY_ORDINAL[record.event_type.ordinal]
         if handler is None:
-            raise ValueError(f"no IT transition for event {event_type}")
+            raise ValueError(f"IT received a non-propagation event: {record.event_type}")
+        self.stats.events_seen += 1
         delivered = handler(self, record)
         if not delivered:
             self.stats.events_discarded += 1
@@ -367,3 +384,9 @@ _TRANSITIONS = {
     EventType.DEST_MEM_OP_REG: InheritanceTracker._on_dest_mem_op_reg,
     EventType.OTHER: InheritanceTracker._on_other,
 }
+
+#: Flat transition table indexed by ``EventType.ordinal`` (None for event
+#: types outside the Figure 5 propagation taxonomy).
+_TRANSITIONS_BY_ORDINAL = tuple(
+    _TRANSITIONS.get(event_type) for event_type in EVENT_TYPES
+)

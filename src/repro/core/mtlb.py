@@ -98,6 +98,11 @@ class MetadataTLB:
         self.stats = MTLBStats()
         # CAM: level-1 index -> level-2 chunk start (metadata) address, LRU ordered
         self._entries: OrderedDict[int, int] = OrderedDict()
+        # geometry shifts/masks, precomputed at lma_config time (hot path)
+        self._l1_shift = 0
+        self._offset_bits = 0
+        self._l2_mask = 0
+        self._element_size = 1
 
     # ------------------------------------------------------------------ instructions
 
@@ -107,6 +112,10 @@ class MetadataTLB:
         As in the paper, reconfiguring flushes the M-TLB.
         """
         self.lma_config_register = config
+        self._l1_shift = ADDRESS_BITS - config.level1_bits
+        self._offset_bits = config.offset_bits
+        self._l2_mask = (1 << config.level2_bits) - 1
+        self._element_size = config.element_size
         if miss_handler is not None:
             self.miss_handler = miss_handler
         self._entries.clear()
@@ -135,22 +144,28 @@ class MetadataTLB:
         Raises:
             MTLBMiss: on a miss when no miss handler is configured.
         """
-        config = self._require_config()
-        self.stats.lookups += 1
-        level1 = config.level1_index(app_address)
-        chunk_start = self._entries.get(level1)
+        if self.lma_config_register is None:
+            self._require_config()
+        stats = self.stats
+        stats.lookups += 1
+        address = app_address & 0xFFFF_FFFF
+        entries = self._entries
+        level1 = address >> self._l1_shift
+        chunk_start = entries.get(level1)
         if chunk_start is not None:
-            self._entries.move_to_end(level1)
-            self.stats.hits += 1
+            entries.move_to_end(level1)
+            stats.hits += 1
             hit = True
         else:
-            self.stats.misses += 1
+            stats.misses += 1
             if self.miss_handler is None:
                 raise MTLBMiss(f"M-TLB miss for {app_address:#x} with no miss handler")
             chunk_start = self.miss_handler(app_address)
             self.lma_fill(app_address, chunk_start)
             hit = False
-        metadata_address = chunk_start + config.level2_index(app_address) * config.element_size
+        metadata_address = chunk_start + (
+            (address >> self._offset_bits) & self._l2_mask
+        ) * self._element_size
         return metadata_address, hit
 
     # ------------------------------------------------------------------ inspection

@@ -108,14 +108,26 @@ class AddrCheck(Lifeguard):
             return
         size = max(event.size, 1)
         # One metadata probe per access (the frequent path checks the first
-        # byte's element; the slow path walks the rest of the range).
+        # byte's element; the slow path walks the rest of the range one
+        # element at a time, testing whole accessible-bit spans per read).
         first_bits = self.meta_read_bits(address, 1)
         if not self._in_heap(address):
             return
-        if first_bits != _ACCESSIBLE or any(
-            self.accessible.read_bits(address + offset, 1) != _ACCESSIBLE
-            for offset in range(1, size)
-        ):
+        bad = first_bits != _ACCESSIBLE
+        if not bad and size > 1:
+            per_element = self.accessible.app_bytes_per_element
+            read_element = self.accessible.read_element
+            probe = address + 1
+            end = address + size
+            while probe < end:
+                offset = probe % per_element
+                upper = min(end, probe - offset + per_element)
+                mask = ((1 << (upper - probe)) - 1) << offset
+                if (read_element(probe) & mask) != mask:
+                    bad = True
+                    break
+                probe = upper
+        if bad:
             self.report(
                 ErrorKind.INVALID_ACCESS, event,
                 f"access to unallocated address {address:#x} (size {size})",

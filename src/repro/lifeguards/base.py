@@ -36,7 +36,7 @@ from repro.memory.shadow import MetadataMap, TwoLevelShadowMap
 LEVEL1_TABLE_BASE = 0x5000_0000
 
 
-@dataclass
+@dataclass(slots=True)
 class EventUsage:
     """What one event handler did, as recorded by the mapper."""
 
@@ -45,7 +45,7 @@ class EventUsage:
     metadata_addresses: List[int] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class MapperStats:
     """Cumulative mapper statistics across the whole run."""
 
@@ -71,6 +71,9 @@ class MetadataMapper:
         self.mtlb = mtlb
         self.stats = MapperStats()
         self._usage = EventUsage()
+        #: hot-path shortcut: two-level maps pay a level-1 table load on the
+        #: software (non-LMA) translation path
+        self._software_two_level = mtlb is None and isinstance(shadow_map, TwoLevelShadowMap)
         if mtlb is not None:
             geometry = lma_geometry or _geometry_from_map(shadow_map)
             mtlb.lma_config(geometry, miss_handler=self._miss_handler)
@@ -91,34 +94,44 @@ class MetadataMapper:
 
     def translate(self, app_address: int) -> int:
         """Translate an application address, recording cost bookkeeping."""
-        self.stats.translations += 1
-        self._usage.translations += 1
+        stats = self.stats
+        usage = self._usage
+        stats.translations += 1
+        usage.translations += 1
         if self.mtlb is not None:
             metadata_address, hit = self.mtlb.lma(app_address)
             if hit:
-                self.stats.mtlb_hits += 1
+                stats.mtlb_hits += 1
             else:
-                self.stats.mtlb_misses += 1
-                self._usage.mtlb_misses += 1
+                stats.mtlb_misses += 1
+                usage.mtlb_misses += 1
         else:
             metadata_address = self.shadow_map.translate(app_address)
-            if isinstance(self.shadow_map, TwoLevelShadowMap):
+            if self._software_two_level:
                 level1_entry = LEVEL1_TABLE_BASE + self.shadow_map.level1_index(app_address) * 4
-                self._usage.metadata_addresses.append(level1_entry)
-        self._usage.metadata_addresses.append(metadata_address)
+                usage.metadata_addresses.append(level1_entry)
+        usage.metadata_addresses.append(metadata_address)
         return metadata_address
 
     # ------------------------------------------------------------------ event scoping
 
     def begin_event(self) -> None:
-        """Start collecting usage for a new delivered event."""
-        self._usage = EventUsage()
+        """Start collecting usage for a new delivered event.
+
+        The mapper reuses one :class:`EventUsage` object across events
+        (reset in place here) so the per-event hot path allocates nothing;
+        the object returned by :meth:`end_event` is therefore only valid
+        until the next :meth:`begin_event`.
+        """
+        usage = self._usage
+        usage.translations = 0
+        usage.mtlb_misses = 0
+        usage.metadata_addresses.clear()
 
     def end_event(self) -> EventUsage:
-        """Return (and reset) the usage recorded since :meth:`begin_event`."""
-        usage = self._usage
-        self._usage = EventUsage()
-        return usage
+        """Return the usage recorded since :meth:`begin_event` (valid until
+        the next :meth:`begin_event` resets it)."""
+        return self._usage
 
 
 def _geometry_from_map(shadow_map: MetadataMap) -> LMAConfig:

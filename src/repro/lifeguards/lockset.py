@@ -65,6 +65,9 @@ class LockSet(Lifeguard):
         self._lockset_index: Dict[FrozenSet[int], int] = {frozenset(): 0}
         #: current lockset per thread
         self.thread_locks: Dict[int, Set[int]] = {}
+        #: frozen snapshot of each thread's lockset, invalidated on
+        #: lock/unlock/thread events so the hot access path never re-freezes
+        self._lockset_cache: Dict[int, FrozenSet[int]] = {}
         #: locations already reported, to avoid cascades of identical reports
         self._reported: Set[int] = set()
 
@@ -120,7 +123,11 @@ class LockSet(Lifeguard):
 
     def current_lockset(self, thread_id: int) -> FrozenSet[int]:
         """The set of lock addresses currently held by ``thread_id``."""
-        return frozenset(self.thread_locks.get(thread_id, set()))
+        cached = self._lockset_cache.get(thread_id)
+        if cached is None:
+            cached = frozenset(self.thread_locks.get(thread_id, ()))
+            self._lockset_cache[thread_id] = cached
+        return cached
 
     # ------------------------------------------------------------------ record encoding
 
@@ -165,8 +172,9 @@ class LockSet(Lifeguard):
         size = max(event.size, 1)
         word = address - address % _WORD
         end = address + size
+        access_word = self._access_word
         while word < end:
-            self._access_word(word, event, is_write)
+            access_word(word, event, is_write)
             word += _WORD
 
     def _access_word(self, word: int, event: DeliveredEvent, is_write: bool) -> None:
@@ -206,6 +214,7 @@ class LockSet(Lifeguard):
         if event.dest_addr is None:
             return
         self.thread_locks.setdefault(event.thread_id, set()).add(event.dest_addr)
+        self._lockset_cache.pop(event.thread_id, None)
 
     def _on_unlock(self, event: DeliveredEvent) -> None:
         if event.dest_addr is None:
@@ -219,6 +228,7 @@ class LockSet(Lifeguard):
             )
             return
         held.discard(event.dest_addr)
+        self._lockset_cache.pop(event.thread_id, None)
 
     def _on_malloc(self, event: DeliveredEvent) -> None:
         if event.dest_addr is None or not event.size:
@@ -244,3 +254,4 @@ class LockSet(Lifeguard):
 
     def _on_thread_exit(self, event: DeliveredEvent) -> None:
         self.thread_locks.pop(event.thread_id, None)
+        self._lockset_cache.pop(event.thread_id, None)

@@ -61,6 +61,15 @@ class MemCheck(Lifeguard):
     def _configure(self) -> None:
         #: 2 bits (accessible, initialised) per application byte
         self.shadow = TwoLevelShadowMap(level1_bits=16, level2_bits=14, element_size=1)
+        #: span masks over the element's 2-bit per-byte fields: entry n covers
+        #: the first n fields (shift into place per use)
+        per_element = self.shadow.app_bytes_per_element
+        self._span_accessible_masks = tuple(
+            sum(_ACCESSIBLE_BIT << (i * 2) for i in range(n)) for n in range(per_element + 1)
+        )
+        self._span_initialized_masks = tuple(
+            sum(_INITIALIZED_BIT << (i * 2) for i in range(n)) for n in range(per_element + 1)
+        )
         self.malloc_records: List[AllocationRecord] = []
         self._live: Dict[int, AllocationRecord] = {}
 
@@ -157,37 +166,68 @@ class MemCheck(Lifeguard):
 
     def _set_range_initialized(self, address: int, size: int, initialized: bool) -> None:
         size = max(size, 1)
-        for offset in range(size):
-            byte_addr = address + offset
-            if not self._tracked_for_init(byte_addr):
-                continue
-            current = self.shadow.read_bits(byte_addr, 2)
-            if initialized:
-                current |= _INITIALIZED_BIT
-            else:
-                current &= ~_INITIALIZED_BIT
-            self.shadow.write_bits(byte_addr, 2, current)
+        shadow = self.shadow
+        read_element = shadow.read_element
+        write_element = shadow.write_element
+        per_element = shadow.app_bytes_per_element
+        span_masks = self._span_initialized_masks
+        tracked_base = self._layout.heap_base
+        end = address + size
+        probe = address
+        # One read-modify-write per covered element, with the initialised
+        # bits of the tracked byte span flipped via a single mask.
+        while probe < end:
+            offset = probe % per_element
+            element_base = probe - offset
+            upper = min(end, element_base + per_element)
+            first_tracked = probe if probe >= tracked_base else min(upper, tracked_base)
+            if first_tracked < upper:
+                shift = (first_tracked - element_base) * 2
+                mask = span_masks[upper - first_tracked] << shift
+                element = read_element(probe)
+                new = element | mask if initialized else element & ~mask
+                write_element(probe, new)
+            probe = upper
         # One translation per element for cost purposes.
         mapper = self.mapper()
-        per_element = self.shadow.app_bytes_per_element
+        translate = mapper.translate
         probe = address
-        while probe < address + size:
-            mapper.translate(probe)
+        while probe < end:
+            translate(probe)
             probe += per_element
+
+    def _range_bits_missing(self, address: int, size: int, span_masks) -> bool:
+        """True if any covered byte lacks the span-mask bit.
+
+        Reads one element per covered element (exactly the reads
+        :meth:`_read_range_bits` would make, so the charged translations are
+        unchanged) and tests whole spans with a mask instead of per byte.
+        """
+        size = max(size, 1)
+        per_element = self.shadow.app_bytes_per_element
+        read_element = self.meta_read_element
+        missing = False
+        probe = address
+        end = address + size
+        while probe < end:
+            element = read_element(probe)
+            offset = probe % per_element
+            upper = min(end, probe - offset + per_element)
+            if not missing:
+                mask = span_masks[upper - probe] << (offset * 2)
+                missing = (element & mask) != mask
+            probe = upper
+        return missing
 
     def _range_uninitialized(self, address: int, size: int) -> bool:
         if not self._tracked_for_init(address):
             return False
-        return any(
-            not (bits & _INITIALIZED_BIT) for bits in self._read_range_bits(address, size)
-        )
+        return self._range_bits_missing(address, size, self._span_initialized_masks)
 
     def _range_inaccessible(self, address: int, size: int) -> bool:
         if not self._in_heap(address):
             return False
-        return any(
-            not (bits & _ACCESSIBLE_BIT) for bits in self._read_range_bits(address, size)
-        )
+        return self._range_bits_missing(address, size, self._span_accessible_masks)
 
     # ------------------------------------------------------------------ check handlers
 

@@ -49,6 +49,13 @@ class TaintCheck(Lifeguard):
     def _configure(self) -> None:
         #: 2 taint bits per application byte (1-byte element per 4-byte word)
         self.taint = TwoLevelShadowMap(level1_bits=16, level2_bits=14, element_size=1)
+        #: span masks: _span_taint_masks[n] has the tainted bit set for the
+        #: first n per-byte fields of an element (shift into place per use)
+        per_element = self.taint.app_bytes_per_element
+        self._span_taint_masks = tuple(
+            sum(1 << (i * _TAINT_BITS) for i in range(n))
+            for n in range(per_element + 1)
+        )
 
         register = self.etct.register_handler
         # -- propagation -----------------------------------------------------
@@ -81,19 +88,27 @@ class TaintCheck(Lifeguard):
         return reg is not None and self.register_meta.get(reg, _CLEAN) == _TAINTED
 
     def memory_tainted(self, address: int, size: int) -> bool:
-        """True if any byte of ``[address, address+size)`` is tainted."""
+        """True if any byte of ``[address, address+size)`` is tainted.
+
+        One metadata element read per covered element; the per-byte tainted
+        bits of the covered span are tested with a single precomputed mask
+        instead of a byte loop.
+        """
         size = max(size, 1)
         per_element = self.shadow_bytes_per_element
+        span_masks = self._span_taint_masks
+        read_element = self.meta_read_element
         probe = address
         end = address + size
         while probe < end:
-            element = self.meta_read_element(probe)
-            element_base = probe - (probe % per_element)
+            element = read_element(probe)
+            offset = probe % per_element
+            element_base = probe - offset
             upper = min(end, element_base + per_element)
-            for byte_addr in range(probe, upper):
-                shift = (byte_addr % per_element) * _TAINT_BITS
-                if (element >> shift) & 1:
-                    return True
+            if element and element & (
+                span_masks[upper - probe] << (offset * _TAINT_BITS)
+            ):
+                return True
             probe = upper
         return False
 
@@ -135,11 +150,13 @@ class TaintCheck(Lifeguard):
             return
         size = max(event.size, 1)
         # Copy per-byte taint from source to destination.
+        read_bits = self.taint.read_bits
+        write_bits = self.taint.write_bits
+        src_addr = event.src_addr
+        dest_addr = event.dest_addr
         for offset in range(size):
-            tainted = bool(self.taint.read_bits(event.src_addr + offset, _TAINT_BITS) & 1)
-            self.taint.write_bits(
-                event.dest_addr + offset, _TAINT_BITS, _TAINTED if tainted else _CLEAN
-            )
+            tainted = read_bits(src_addr + offset, _TAINT_BITS) & 1
+            write_bits(dest_addr + offset, _TAINT_BITS, _TAINTED if tainted else _CLEAN)
         mapper = self.mapper()
         per_element = self.shadow_bytes_per_element
         probe = 0

@@ -87,8 +87,9 @@ class TaintCheckDetailed(TaintCheck):
             encoded = (origin.from_address & 0xFFFF_FFFF) | ((origin.pc & 0xFFFF_FFFF) << 32)
         word = self._word_base(address)
         end = address + max(size, 1)
+        write_element = self.detail.write_element
         while word < end:
-            self.detail.write_element(word, encoded)
+            write_element(word, encoded)
             word += _WORD
 
     def taint_trail(self, address: int, limit: int = 16) -> List[TaintOrigin]:

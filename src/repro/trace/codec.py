@@ -25,7 +25,12 @@ from __future__ import annotations
 
 from typing import List, Tuple, Union
 
-from repro.core.events import AnnotationRecord, EventType, InstructionRecord
+from repro.core.events import (
+    EVENT_TYPES,
+    AnnotationRecord,
+    EventType,
+    InstructionRecord,
+)
 
 Record = Union[InstructionRecord, AnnotationRecord]
 
@@ -34,9 +39,8 @@ class TraceCodecError(ValueError):
     """Raised when a byte stream cannot be decoded into records."""
 
 
-#: Stable wire identifier per event type (enum definition order).
-_WIRE_ID = {event_type: index for index, event_type in enumerate(EventType)}
-_EVENT_BY_WIRE_ID = list(EventType)
+#: Stable wire identifier per event type: its ``ordinal`` (definition order).
+_EVENT_BY_WIRE_ID = EVENT_TYPES
 
 # Presence/flag bits of an instruction record's bitmap.  The seven most
 # frequent fields occupy the low bits so the common load/move records keep
@@ -143,7 +147,7 @@ class RecordEncoder:
     # ------------------------------------------------------------------ internals
 
     def _encode_instruction(self, out: bytearray, record: InstructionRecord) -> None:
-        _write_varint(out, _WIRE_ID[record.event_type] << 1)
+        _write_varint(out, record.event_type.ordinal << 1)
         flags = 0
         if record.dest_reg is not None:
             flags |= _F_DEST_REG
@@ -196,7 +200,7 @@ class RecordEncoder:
             _write_varint(out, record.thread_id)
 
     def _encode_annotation(self, out: bytearray, record: AnnotationRecord) -> None:
-        _write_varint(out, (_WIRE_ID[record.event_type] << 1) | 1)
+        _write_varint(out, (record.event_type.ordinal << 1) | 1)
         flags = 0
         if record.address is not None:
             flags |= _A_ADDRESS
@@ -245,6 +249,197 @@ class RecordDecoder:
         if tag & 1:
             return self._decode_annotation(event_type, data, offset)
         return self._decode_instruction(event_type, data, offset)
+
+    def decode_many(self, data: bytes, count: int = -1) -> Tuple[List[Record], int]:
+        """Batch-decode records from the start of ``data``.
+
+        Decodes ``count`` records (or, when negative, until the buffer is
+        exhausted) and returns ``(records, next_offset)``.  Produces exactly
+        the records the per-record :meth:`decode` loop would, but with the
+        varint reads, zigzag maths and record construction inlined into one
+        loop -- the single-byte-varint common case never leaves the loop
+        body.  The delta-chain state advances only past fully decoded
+        records, so on error the decoder is positioned exactly as if the
+        offending record had never been attempted.
+        """
+        records: List[Record] = []
+        append = records.append
+        event_types = _EVENT_BY_WIRE_ID
+        num_types = len(event_types)
+        read_varint = _read_varint
+        length = len(data)
+        last_pc = committed_pc = self._last_pc
+        last_addr = committed_addr = self._last_addr
+        offset = 0
+        try:
+            while (offset < length) if count < 0 else (len(records) < count):
+                byte = data[offset]
+                if byte < 0x80:
+                    tag = byte
+                    offset += 1
+                else:
+                    tag, offset = read_varint(data, offset)
+                wire_id = tag >> 1
+                if wire_id >= num_types:
+                    raise TraceCodecError(f"unknown event wire id {wire_id}")
+                event_type = event_types[wire_id]
+                byte = data[offset]
+                if byte < 0x80:
+                    flags = byte
+                    offset += 1
+                else:
+                    flags, offset = read_varint(data, offset)
+                if tag & 1:
+                    # ---- annotation record ------------------------------------
+                    address = payload = None
+                    size = thread_id = pc = 0
+                    if flags & _A_ADDRESS:
+                        byte = data[offset]
+                        if byte < 0x80:
+                            offset += 1
+                        else:
+                            byte, offset = read_varint(data, offset)
+                        delta = (byte >> 1) if not byte & 1 else -((byte + 1) >> 1)
+                        address = last_addr + delta
+                        last_addr = address
+                    if flags & _A_SIZE:
+                        byte = data[offset]
+                        if byte < 0x80:
+                            size = byte
+                            offset += 1
+                        else:
+                            size, offset = read_varint(data, offset)
+                    if flags & _A_THREAD:
+                        byte = data[offset]
+                        if byte < 0x80:
+                            thread_id = byte
+                            offset += 1
+                        else:
+                            thread_id, offset = read_varint(data, offset)
+                    if flags & _A_PC:
+                        byte = data[offset]
+                        if byte < 0x80:
+                            offset += 1
+                        else:
+                            byte, offset = read_varint(data, offset)
+                        pc = last_pc + ((byte >> 1) if not byte & 1 else -((byte + 1) >> 1))
+                        last_pc = pc
+                    if flags & _A_PAYLOAD:
+                        byte = data[offset]
+                        if byte < 0x80:
+                            offset += 1
+                        else:
+                            byte, offset = read_varint(data, offset)
+                        payload = (byte >> 1) if not byte & 1 else -((byte + 1) >> 1)
+                    append(AnnotationRecord(event_type, address, size, thread_id, pc, payload))
+                else:
+                    # ---- instruction record -----------------------------------
+                    byte = data[offset]
+                    if byte < 0x80:
+                        offset += 1
+                    else:
+                        byte, offset = read_varint(data, offset)
+                    pc = last_pc + ((byte >> 1) if not byte & 1 else -((byte + 1) >> 1))
+                    last_pc = pc
+                    dest_reg = src_reg = dest_addr = src_addr = None
+                    base_reg = index_reg = immediate = None
+                    size = thread_id = 0
+                    if flags & _F_DEST_REG:
+                        byte = data[offset]
+                        if byte < 0x80:
+                            dest_reg = byte
+                            offset += 1
+                        else:
+                            dest_reg, offset = read_varint(data, offset)
+                    if flags & _F_SRC_REG:
+                        byte = data[offset]
+                        if byte < 0x80:
+                            src_reg = byte
+                            offset += 1
+                        else:
+                            src_reg, offset = read_varint(data, offset)
+                    if flags & _F_DEST_ADDR:
+                        byte = data[offset]
+                        if byte < 0x80:
+                            offset += 1
+                        else:
+                            byte, offset = read_varint(data, offset)
+                        dest_addr = last_addr + (
+                            (byte >> 1) if not byte & 1 else -((byte + 1) >> 1)
+                        )
+                        last_addr = dest_addr
+                    if flags & _F_SRC_ADDR:
+                        byte = data[offset]
+                        if byte < 0x80:
+                            offset += 1
+                        else:
+                            byte, offset = read_varint(data, offset)
+                        src_addr = last_addr + (
+                            (byte >> 1) if not byte & 1 else -((byte + 1) >> 1)
+                        )
+                        last_addr = src_addr
+                    if flags & _F_BASE_REG:
+                        byte = data[offset]
+                        if byte < 0x80:
+                            base_reg = byte
+                            offset += 1
+                        else:
+                            base_reg, offset = read_varint(data, offset)
+                    if flags & _F_INDEX_REG:
+                        byte = data[offset]
+                        if byte < 0x80:
+                            index_reg = byte
+                            offset += 1
+                        else:
+                            index_reg, offset = read_varint(data, offset)
+                    if flags & _F_IMMEDIATE:
+                        byte = data[offset]
+                        if byte < 0x80:
+                            offset += 1
+                        else:
+                            byte, offset = read_varint(data, offset)
+                        immediate = (byte >> 1) if not byte & 1 else -((byte + 1) >> 1)
+                    if flags & _F_SIZE:
+                        byte = data[offset]
+                        if byte < 0x80:
+                            size = byte
+                            offset += 1
+                        else:
+                            size, offset = read_varint(data, offset)
+                    if flags & _F_THREAD:
+                        byte = data[offset]
+                        if byte < 0x80:
+                            thread_id = byte
+                            offset += 1
+                        else:
+                            thread_id, offset = read_varint(data, offset)
+                    append(
+                        InstructionRecord(
+                            pc,
+                            event_type,
+                            dest_reg,
+                            src_reg,
+                            dest_addr,
+                            src_addr,
+                            size,
+                            bool(flags & _F_IS_LOAD),
+                            bool(flags & _F_IS_STORE),
+                            base_reg,
+                            index_reg,
+                            bool(flags & _F_COND_TEST),
+                            bool(flags & _F_INDIRECT_JUMP),
+                            thread_id,
+                            immediate,
+                        )
+                    )
+                committed_pc = last_pc
+                committed_addr = last_addr
+        except IndexError:
+            raise TraceCodecError("varint runs past end of buffer") from None
+        finally:
+            self._last_pc = committed_pc
+            self._last_addr = committed_addr
+        return records, offset
 
     # ------------------------------------------------------------------ internals
 
@@ -351,17 +546,8 @@ def decode_records(data: bytes, expected_count: int = -1) -> List[Record]:
             :class:`TraceCodecError` is raised (chunk integrity check).
     """
     decoder = RecordDecoder()
-    records: List[Record] = []
-    offset = 0
-    if expected_count < 0:
-        while offset < len(data):
-            record, offset = decoder.decode(data, offset)
-            records.append(record)
-        return records
-    for _ in range(expected_count):
-        record, offset = decoder.decode(data, offset)
-        records.append(record)
-    if offset != len(data):
+    records, offset = decoder.decode_many(data, expected_count)
+    if expected_count >= 0 and offset != len(data):
         raise TraceCodecError(
             f"chunk decoded {expected_count} records but left "
             f"{len(data) - offset} trailing bytes"

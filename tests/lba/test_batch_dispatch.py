@@ -1,0 +1,136 @@
+"""Batched-vs-per-record dispatch equivalence.
+
+The acceptance bar of the hot-path overhaul: ``consume_batch`` must produce
+*bit-identical* simulated-cycle accounting to a per-record ``consume`` loop
+-- same :class:`DispatchStats`, same :class:`AcceleratorStats`, same total
+lifeguard cycles and same error reports -- for every lifeguard, with and
+without a modelled cache hierarchy.
+"""
+
+import pytest
+
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.core.accelerator import AcceleratorConfig, EventAccelerator
+from repro.core.config import SystemConfig
+from repro.isa.machine import Machine
+from repro.lba.capture import LogProducer
+from repro.lba.dispatch import EventDispatcher
+from repro.lifeguards import ALL_LIFEGUARDS
+from repro.trace.replay import build_pipeline
+from repro.workloads.base import get_workload
+from repro.workloads.bugs import double_free, uninitialized_condition, use_after_free
+
+
+def _workload_records(name, scale=0.3):
+    workload = get_workload(name, scale=scale)
+    producer = LogProducer(workload.build_machine(), None)
+    return [record for record, _cost in producer.stream()]
+
+
+@pytest.fixture(scope="module")
+def spec_records():
+    """A single-threaded SPEC-analogue record stream (loads/stores/annotations)."""
+    return _workload_records("mcf")
+
+
+@pytest.fixture(scope="module")
+def multithreaded_records():
+    """A multithreaded stream with lock/unlock and thread events."""
+    return _workload_records("pbzip2")
+
+
+@pytest.fixture(scope="module")
+def buggy_records():
+    """Record streams that actually trigger lifeguard reports."""
+    records = []
+    for program in (use_after_free(), double_free(), uninitialized_condition()):
+        records.extend(Machine(program).trace())
+    return records
+
+
+def _run_per_record(records, lifeguard_name):
+    lifeguard = ALL_LIFEGUARDS[lifeguard_name]()
+    accelerator, dispatcher = build_pipeline(lifeguard)
+    cycles = sum(dispatcher.consume(record) for record in records)
+    lifeguard.finalize()
+    return lifeguard, accelerator, dispatcher, cycles
+
+
+def _run_batched(records, lifeguard_name):
+    lifeguard = ALL_LIFEGUARDS[lifeguard_name]()
+    accelerator, dispatcher = build_pipeline(lifeguard)
+    cycles = dispatcher.consume_batch(records)
+    lifeguard.finalize()
+    return lifeguard, accelerator, dispatcher, cycles
+
+
+def _assert_identical(per, batched):
+    lifeguard_p, accelerator_p, dispatcher_p, cycles_p = per
+    lifeguard_b, accelerator_b, dispatcher_b, cycles_b = batched
+    assert dispatcher_p.stats == dispatcher_b.stats
+    assert accelerator_p.stats == accelerator_b.stats
+    assert cycles_p == cycles_b
+    assert cycles_p == dispatcher_p.stats.lifeguard_cycles
+    assert lifeguard_p.reports == lifeguard_b.reports
+
+
+@pytest.mark.parametrize("name", sorted(ALL_LIFEGUARDS))
+def test_batched_matches_per_record_on_spec_stream(spec_records, name):
+    _assert_identical(
+        _run_per_record(spec_records, name), _run_batched(spec_records, name)
+    )
+
+
+def test_batched_matches_per_record_multithreaded_lockset(multithreaded_records):
+    _assert_identical(
+        _run_per_record(multithreaded_records, "LockSet"),
+        _run_batched(multithreaded_records, "LockSet"),
+    )
+
+
+@pytest.mark.parametrize("name", ["AddrCheck", "MemCheck"])
+def test_batched_matches_per_record_with_reports(buggy_records, name):
+    per = _run_per_record(buggy_records, name)
+    batched = _run_batched(buggy_records, name)
+    _assert_identical(per, batched)
+    assert per[0].reports, "bug workloads should produce reports"
+
+
+def _pipeline_with_hierarchy(lifeguard):
+    config = SystemConfig().gated_for(lifeguard)
+    accelerator = EventAccelerator(lifeguard.etct, AcceleratorConfig.from_system(config))
+    lifeguard.attach_hardware(accelerator.mtlb)
+    dispatcher = EventDispatcher(lifeguard, accelerator, MemoryHierarchy(num_cores=2))
+    return accelerator, dispatcher
+
+
+@pytest.mark.parametrize("name", ["MemCheck", "TaintCheck"])
+def test_batched_matches_per_record_with_cache_hierarchy(buggy_records, name):
+    """Cache-latency charging must also be identical between the two paths."""
+    lifeguard_p = ALL_LIFEGUARDS[name]()
+    accelerator_p, dispatcher_p = _pipeline_with_hierarchy(lifeguard_p)
+    cycles_p = sum(dispatcher_p.consume(record) for record in buggy_records)
+    lifeguard_p.finalize()
+
+    lifeguard_b = ALL_LIFEGUARDS[name]()
+    accelerator_b, dispatcher_b = _pipeline_with_hierarchy(lifeguard_b)
+    cycles_b = dispatcher_b.consume_batch(buggy_records)
+    lifeguard_b.finalize()
+
+    assert dispatcher_p.stats == dispatcher_b.stats
+    assert accelerator_p.stats == accelerator_b.stats
+    assert cycles_p == cycles_b
+    assert lifeguard_p.reports == lifeguard_b.reports
+
+
+def test_consume_batch_accepts_generators(spec_records):
+    """Batch input may be any iterable, not just a list."""
+    lifeguard_list = ALL_LIFEGUARDS["TaintCheck"]()
+    _, dispatcher_list = build_pipeline(lifeguard_list)
+    dispatcher_list.consume_batch(spec_records)
+
+    lifeguard_gen = ALL_LIFEGUARDS["TaintCheck"]()
+    _, dispatcher_gen = build_pipeline(lifeguard_gen)
+    dispatcher_gen.consume_batch(record for record in spec_records)
+
+    assert dispatcher_list.stats == dispatcher_gen.stats

@@ -126,6 +126,49 @@ class TestPropertyStyle:
             assert measured == len(encoder.encode(record))
 
 
+class TestBatchDecode:
+    def test_decode_many_matches_stepwise_decode(self):
+        rng = random.Random(11)
+        records = [_random_record(rng) for _ in range(300)]
+        data = encode_records(records)
+
+        stepwise_decoder = RecordDecoder()
+        offset = 0
+        stepwise = []
+        while offset < len(data):
+            record, offset = stepwise_decoder.decode(data, offset)
+            stepwise.append(record)
+
+        batch_decoder = RecordDecoder()
+        batch, consumed = batch_decoder.decode_many(data)
+        assert batch == stepwise == records
+        assert consumed == len(data)
+
+    def test_decode_many_continues_delta_state_between_calls(self):
+        rng = random.Random(12)
+        records = [_random_record(rng) for _ in range(60)]
+        data = encode_records(records)
+        decoder = RecordDecoder()
+        first, offset = decoder.decode_many(data, count=25)
+        rest, _ = decoder.decode_many(data[offset:])
+        assert first + rest == records
+
+    def test_decode_many_count_stops_early(self):
+        rng = random.Random(13)
+        records = [_random_record(rng) for _ in range(40)]
+        data = encode_records(records)
+        out, consumed = RecordDecoder().decode_many(data, count=10)
+        assert out == records[:10]
+        assert consumed < len(data)
+
+    def test_decode_many_truncated_buffer_raises(self):
+        rng = random.Random(14)
+        records = [_random_record(rng) for _ in range(20)]
+        data = encode_records(records)
+        with pytest.raises(TraceCodecError):
+            RecordDecoder().decode_many(data[: len(data) - 1], count=len(records))
+
+
 class TestDeltaState:
     def test_reset_restarts_delta_chains(self):
         record = InstructionRecord(pc=0x1000, event_type=EventType.REG_TO_REG, dest_reg=1)
