@@ -5,10 +5,15 @@ shadow-map writes and fills, per-record vs batched dispatch, and
 end-to-end trace replay -- and writes the results to ``BENCH_hotpath.json``
 so the perf trajectory is tracked in-repo from PR 2 onward.
 
+``--multicore`` runs the multi-core scaling suite instead, recording a
+core-count scaling curve (sharded trace replay at 1/2/4 workers plus the
+live multi-core platform at 1/2/4 core pairs) into ``BENCH_multicore.json``.
+
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_benchmarks.py            # full run
-    PYTHONPATH=src python benchmarks/run_benchmarks.py --smoke    # CI smoke
+    PYTHONPATH=src python benchmarks/run_benchmarks.py              # hot path
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --multicore  # scaling
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --smoke      # CI smoke
     PYTHONPATH=src python benchmarks/run_benchmarks.py --output out.json
 
 The ``--smoke`` mode shrinks every record count so the whole suite finishes
@@ -32,11 +37,16 @@ for _path in (os.path.join(_ROOT, "src"), _ROOT):
         sys.path.insert(0, _path)
 
 from repro.core.events import AnnotationRecord, EventType, InstructionRecord
-from repro.experiments.harness import capture_trace
+from repro.experiments.harness import (
+    capture_multicore_traces,
+    capture_trace,
+    core_scaling_sweep,
+    multicore_trace_paths,
+)
 from repro.lifeguards import ALL_LIFEGUARDS
 from repro.memory.shadow import TwoLevelShadowMap
 from repro.trace.codec import RecordDecoder, decode_records, encode_records
-from repro.trace.replay import build_pipeline, replay_trace
+from repro.trace.replay import MultiTraceReplay, ParallelReplay, build_pipeline, replay_trace
 from repro.trace.tracefile import TraceReader, TraceWriter
 
 #: Pre-PR (dict-backed, per-record, enum-dict dispatch) throughput, measured
@@ -251,6 +261,114 @@ def run(smoke=False, scale=1.0):
     }
 
 
+#: Core/worker counts of every multi-core scaling curve.
+SCALING_POINTS = (1, 2, 4)
+
+
+def run_multicore(smoke=False, scale=1.0):
+    """Multi-core scaling suite: replay-worker and live core-count curves."""
+    curves = {}
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # --- sharded trace replay: one stored workload, 1/2/4 workers -------
+        trace_path = os.path.join(tmp, "scaling.lbatrace")
+        if smoke:
+            workload = "synthetic"
+            with TraceWriter(trace_path, chunk_bytes=16 * 1024) as writer:
+                writer.extend(synthetic_records(8_000))
+            records = writer.stats.records
+        else:
+            workload = "mcf"
+            records = capture_trace("mcf", trace_path, scale=scale,
+                                    chunk_bytes=16 * 1024).records
+        replay_curve = []
+        for workers in SCALING_POINTS:
+            replay = ParallelReplay(trace_path, "MemCheck", workers=workers)
+            result = replay.run()
+            replay_curve.append(
+                {
+                    "workers": workers,
+                    "records_per_second": round(result.records_per_second),
+                    "wall_seconds": round(result.wall_seconds, 4),
+                }
+            )
+        curves["replay_scaling"] = {
+            "workload": workload,
+            "lifeguard": "MemCheck",
+            "records": records,
+            "curve": replay_curve,
+        }
+
+        # --- per-core trace sets: capture at 4 cores, multi-trace replay ----
+        cores = max(SCALING_POINTS)
+        capture_stats = capture_multicore_traces(
+            "pbzip2", tmp, cores=cores, scale=0.5 if smoke else scale
+        )
+        paths = multicore_trace_paths(tmp, "pbzip2", cores)
+        multi_curve = []
+        for workers in SCALING_POINTS:
+            result = MultiTraceReplay(paths, "LockSet", workers=workers).run()
+            multi_curve.append(
+                {
+                    "workers": workers,
+                    "records_per_second": round(result.records_per_second),
+                    "wall_seconds": round(result.wall_seconds, 4),
+                }
+            )
+        curves["per_core_trace_replay"] = {
+            "workload": "pbzip2",
+            "lifeguard": "LockSet",
+            "cores": cores,
+            "records": sum(s.records for s in capture_stats),
+            "per_core_records": [s.records for s in capture_stats],
+            "curve": multi_curve,
+        }
+
+    # --- live platform: simulated slowdown vs core count --------------------
+    live = {}
+    for workload, lifeguard in (("mcf", "MemCheck"), ("pbzip2", "LockSet")):
+        rows = core_scaling_sweep(
+            workload, lifeguard, cores_list=SCALING_POINTS,
+            scale=0.3 if smoke else scale,
+        )
+        base_finish = rows[0]["lifeguard_finish_cycles"]
+        for row in rows:
+            row["sim_speedup"] = round(base_finish / row["lifeguard_finish_cycles"], 3)
+        live[f"{workload}_{lifeguard}"] = {
+            "workload": workload,
+            "lifeguard": lifeguard,
+            "curve": rows,
+        }
+    curves["live_scaling"] = live
+
+    return {
+        "benchmark": "multicore",
+        "mode": "smoke" if smoke else "full",
+        "scaling_points": list(SCALING_POINTS),
+        "host_cpus": os.cpu_count(),
+        **curves,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+
+
+def _print_multicore(results):
+    replay = results["replay_scaling"]
+    print(f"  replay scaling ({replay['workload']}, {replay['lifeguard']}):")
+    for point in replay["curve"]:
+        print(f"    {point['workers']} workers  {point['records_per_second']:>12,} records/s")
+    per_core = results["per_core_trace_replay"]
+    print(f"  per-core trace replay ({per_core['workload']}, {per_core['cores']} cores, "
+          f"{per_core['lifeguard']}):")
+    for point in per_core["curve"]:
+        print(f"    {point['workers']} workers  {point['records_per_second']:>12,} records/s")
+    for entry in results["live_scaling"].values():
+        print(f"  live platform ({entry['workload']}, {entry['lifeguard']}):")
+        for row in entry["curve"]:
+            print(f"    {row['cores']} cores  slowdown {row['slowdown']:>6.2f}x  "
+                  f"sim speedup {row['sim_speedup']:>5.2f}x")
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -262,17 +380,30 @@ def main(argv=None):
         help="workload scale for the captured mcf trace in full mode (default 1.0)",
     )
     parser.add_argument(
-        "--output", default=os.path.join(_ROOT, "BENCH_hotpath.json"),
-        help="where to write the JSON results (default: repo-root BENCH_hotpath.json)",
+        "--multicore", action="store_true",
+        help="run the multi-core scaling suite (BENCH_multicore.json) instead",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="where to write the JSON results (default: repo-root "
+             "BENCH_hotpath.json, or BENCH_multicore.json with --multicore)",
     )
     args = parser.parse_args(argv)
+    default_name = "BENCH_multicore.json" if args.multicore else "BENCH_hotpath.json"
+    output = args.output or os.path.join(_ROOT, default_name)
 
-    results = run(smoke=args.smoke, scale=args.scale)
-    with open(args.output, "w") as handle:
+    if args.multicore:
+        results = run_multicore(smoke=args.smoke, scale=args.scale)
+    else:
+        results = run(smoke=args.smoke, scale=args.scale)
+    with open(output, "w") as handle:
         json.dump(results, handle, indent=2, sort_keys=True)
         handle.write("\n")
 
-    print(f"wrote {args.output}")
+    print(f"wrote {output}")
+    if args.multicore:
+        _print_multicore(results)
+        return 0
     width = max(len(stage) for stage in results["stages"])
     for stage, rate in sorted(results["stages"].items()):
         unit = results["units"][stage]

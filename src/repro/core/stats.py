@@ -1,0 +1,22 @@
+"""Shared helpers for the integer-counter statistics dataclasses.
+
+Replay shards and lifeguard cores both produce homogeneous stats objects
+(:class:`DispatchStats`, :class:`AcceleratorStats`, ...) that merge by
+field-wise summation; this is the single definition of that merge.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+def sum_stats(cls, items):
+    """Field-wise sum of homogeneous integer-stats dataclasses."""
+    merged = cls()
+    for stats_field in dataclasses.fields(cls):
+        setattr(
+            merged,
+            stats_field.name,
+            sum(getattr(item, stats_field.name) for item in items),
+        )
+    return merged

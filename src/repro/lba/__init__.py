@@ -8,14 +8,24 @@ compression), the log buffer (with producer/consumer stall coupling), the
 consumer side (event dispatch through the acceleration pipeline into
 lifeguard handlers) and the dual-core timing model that turns all of this
 into the slowdown numbers reported in the paper's Figures 10 and 11.
+
+:mod:`repro.lba.multicore` scales the same pipeline out to N application
+cores streaming per-core logs to N lifeguard cores through a shard router.
 """
 
 from repro.lba.record import RecordSizer, encoded_record_size
 from repro.lba.log_buffer import LogBuffer, LogBufferStats
-from repro.lba.capture import LogProducer, ProducerStats
+from repro.lba.capture import LogProducer, ProducerStats, iter_machine_records
 from repro.lba.dispatch import EventDispatcher, DispatchStats
 from repro.lba.timing import CouplingModel, TimingBreakdown
 from repro.lba.platform import LBASystem, MonitoringResult
+from repro.lba.multicore import (
+    MultiCoreLBASystem,
+    MultiCoreResult,
+    MultiCoreStats,
+    ShardOutcome,
+    ShardRouter,
+)
 
 __all__ = [
     "RecordSizer",
@@ -24,10 +34,16 @@ __all__ = [
     "LogBufferStats",
     "LogProducer",
     "ProducerStats",
+    "iter_machine_records",
     "EventDispatcher",
     "DispatchStats",
     "CouplingModel",
     "TimingBreakdown",
     "LBASystem",
     "MonitoringResult",
+    "MultiCoreLBASystem",
+    "MultiCoreResult",
+    "MultiCoreStats",
+    "ShardOutcome",
+    "ShardRouter",
 ]

@@ -52,8 +52,38 @@ _ANNOTATION_APP_CYCLES = {
     EventType.PRINTF: 120,
 }
 
-#: Which application core the monitored program runs on.
+#: Which application core the monitored program runs on (dual-core system).
 APPLICATION_CORE = 0
+
+
+def iter_machine_records(
+    machine: ApplicationMachine, max_instructions: int = 5_000_000
+) -> Iterator[Record]:
+    """Yield the raw record stream of an application machine.
+
+    This is the machine-driving half of :meth:`LogProducer.stream`, usable
+    on its own by consumers that do their own cost accounting (the
+    multi-core platform routes each record to a per-core log channel).
+    ``ThreadedMachine`` handles its own interleaving; it is run to
+    completion and its buffered trace replayed (traces are modest --
+    reduced inputs -- so buffering the multithreaded case is acceptable).
+    """
+    if isinstance(machine, ThreadedMachine):
+        records: list[Record] = []
+        machine.run(records.append, max_instructions=max_instructions)
+        yield from records
+        return
+    executed = 0
+    while not machine.halted:
+        if executed >= max_instructions:
+            from repro.isa.machine import ExecutionLimitExceeded
+
+            raise ExecutionLimitExceeded(
+                f"{machine.program.name}: exceeded {max_instructions} instructions"
+            )
+        for record in machine.step():
+            executed += 1
+            yield record
 
 
 @dataclass
@@ -78,6 +108,10 @@ class LogProducer:
             method (typically a :class:`repro.trace.tracefile.TraceWriter`);
             every emitted record is appended to it, capturing the run as a
             replayable trace.
+        core_index: which core of ``hierarchy`` this producer's fetch/data
+            accesses go through.  The dual-core platform uses core 0; the
+            multi-core platform creates one producer per application core,
+            each charging its own private L1s.
     """
 
     def __init__(
@@ -86,11 +120,13 @@ class LogProducer:
         hierarchy: Optional[MemoryHierarchy] = None,
         max_instructions: int = 5_000_000,
         trace_writer: Optional["TraceWriterLike"] = None,
+        core_index: int = APPLICATION_CORE,
     ) -> None:
         self.machine = machine
         self.hierarchy = hierarchy
         self.max_instructions = max_instructions
         self.trace_writer = trace_writer
+        self.core_index = core_index
         self.stats = ProducerStats()
         self._sizer = RecordSizer()
 
@@ -101,16 +137,17 @@ class LogProducer:
         self.stats.instructions += 1
         cycles = 1
         if self.hierarchy is not None:
+            core = self.core_index
             cycles = self.hierarchy.access(
-                APPLICATION_CORE, record.pc, AccessType.INSTRUCTION_FETCH, size=4
+                core, record.pc, AccessType.INSTRUCTION_FETCH, size=4
             )
             if record.is_load and record.src_addr is not None:
                 cycles += self.hierarchy.access(
-                    APPLICATION_CORE, record.src_addr, AccessType.DATA_READ, record.size or 4
+                    core, record.src_addr, AccessType.DATA_READ, record.size or 4
                 )
             if record.is_store and record.dest_addr is not None:
                 cycles += self.hierarchy.access(
-                    APPLICATION_CORE, record.dest_addr, AccessType.DATA_WRITE, record.size or 4
+                    core, record.dest_addr, AccessType.DATA_WRITE, record.size or 4
                 )
         else:
             if record.is_load:
@@ -119,43 +156,25 @@ class LogProducer:
                 cycles += 1
         return cycles
 
+    def account(self, record: Record) -> int:
+        """Account one record through this producer's log channel.
+
+        Computes the application-core cycle cost (charging this core's
+        caches), updates the channel statistics and exact log-byte count,
+        tees the record into the trace writer if one is attached, and
+        returns the cost.  :meth:`stream` calls this for every record the
+        machine emits; the multi-core platform calls it directly for the
+        records routed to this core's channel.
+        """
+        cost = self._record_cost(record)
+        self.stats.records += 1
+        self.stats.app_cycles += cost
+        self.stats.log_bytes += self._sizer.size(record)
+        if self.trace_writer is not None:
+            self.trace_writer.append(record)
+        return cost
+
     def stream(self) -> Iterator[Tuple[Record, int]]:
         """Yield ``(record, app_cycles)`` pairs until the program halts."""
-        records: list[Record] = []
-
-        def observer(record: Record) -> None:
-            records.append(record)
-
-        if isinstance(self.machine, ThreadedMachine):
-            runner = self._threaded_stream(observer, records)
-        else:
-            runner = self._single_stream(observer, records)
-        for record in runner:
-            cost = self._record_cost(record)
-            self.stats.records += 1
-            self.stats.app_cycles += cost
-            self.stats.log_bytes += self._sizer.size(record)
-            if self.trace_writer is not None:
-                self.trace_writer.append(record)
-            yield record, cost
-
-    def _single_stream(self, observer, records) -> Iterator[Record]:
-        machine = self.machine
-        executed = 0
-        while not machine.halted:
-            if executed >= self.max_instructions:
-                from repro.isa.machine import ExecutionLimitExceeded
-
-                raise ExecutionLimitExceeded(
-                    f"{machine.program.name}: exceeded {self.max_instructions} instructions"
-                )
-            for record in machine.step():
-                executed += 1
-                yield record
-
-    def _threaded_stream(self, observer, records) -> Iterator[Record]:
-        # ThreadedMachine handles its own interleaving; run it to completion
-        # through the observer and then replay.  Traces are modest (reduced
-        # inputs), so buffering the multithreaded case is acceptable.
-        self.machine.run(observer, max_instructions=self.max_instructions)
-        yield from records
+        for record in iter_machine_records(self.machine, self.max_instructions):
+            yield record, self.account(record)

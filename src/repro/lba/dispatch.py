@@ -63,10 +63,12 @@ class EventDispatcher:
         lifeguard: Lifeguard,
         accelerator: EventAccelerator,
         hierarchy: Optional[MemoryHierarchy] = None,
+        core_index: int = LIFEGUARD_CORE,
     ) -> None:
         self.lifeguard = lifeguard
         self.accelerator = accelerator
         self.hierarchy = hierarchy
+        self.core_index = core_index
         self.stats = DispatchStats()
         self._lma_enabled = accelerator.mtlb is not None
         self._translation = metadata_translation_cost("two-level", self._lma_enabled)
@@ -99,7 +101,7 @@ class EventDispatcher:
             if self.hierarchy is not None:
                 for metadata_address in usage.metadata_addresses:
                     event_cycles += self.hierarchy.access(
-                        LIFEGUARD_CORE, metadata_address, AccessType.DATA_READ, size=4
+                        self.core_index, metadata_address, AccessType.DATA_READ, size=4
                     )
             else:
                 event_cycles += len(usage.metadata_addresses)
@@ -126,6 +128,7 @@ class EventDispatcher:
         table = self._table
         hierarchy = self.hierarchy
         hierarchy_access = hierarchy.access if hierarchy is not None else None
+        core_index = self.core_index
         translation_instructions = self._translation.instructions
         miss_cost = self._miss_cost
 
@@ -162,7 +165,7 @@ class EventDispatcher:
                     if hierarchy_access is not None:
                         for metadata_address in usage.metadata_addresses:
                             event_cycles += hierarchy_access(
-                                LIFEGUARD_CORE, metadata_address, AccessType.DATA_READ, size=4
+                                core_index, metadata_address, AccessType.DATA_READ, size=4
                             )
                     else:
                         event_cycles += len(usage.metadata_addresses)

@@ -12,7 +12,8 @@ log bytes real:
   re-analysed many times;
 * :mod:`repro.trace.replay` -- offline replay of a stored trace through the
   acceleration pipeline and a lifeguard, including sharded parallel replay
-  across ``multiprocessing`` workers.
+  across ``multiprocessing`` workers and multi-trace replay of the
+  per-core trace sets the multi-core platform captures.
 """
 
 from repro.trace.codec import (
@@ -22,7 +23,14 @@ from repro.trace.codec import (
     decode_records,
     encode_records,
 )
-from repro.trace.replay import ParallelReplay, ReplayResult, replay_records, replay_trace
+from repro.trace.replay import (
+    MultiTraceReplay,
+    ParallelReplay,
+    ReplayResult,
+    default_workers,
+    replay_records,
+    replay_trace,
+)
 from repro.trace.tracefile import (
     ChunkInfo,
     TraceFormatError,
@@ -42,8 +50,10 @@ __all__ = [
     "TraceReader",
     "TraceStats",
     "TraceWriter",
+    "MultiTraceReplay",
     "ParallelReplay",
     "ReplayResult",
+    "default_workers",
     "replay_records",
     "replay_trace",
 ]

@@ -22,13 +22,14 @@ bit-for-bit comparable.
 
 from __future__ import annotations
 
-import dataclasses
 import multiprocessing
+import os
 import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple, Type, Union
 
 from repro.core.accelerator import AcceleratorConfig, AcceleratorStats, EventAccelerator
+from repro.core.stats import sum_stats
 from repro.core.config import SystemConfig
 from repro.lba.dispatch import DispatchStats, EventDispatcher
 from repro.lifeguards import ALL_LIFEGUARDS
@@ -37,6 +38,28 @@ from repro.lifeguards.reports import ErrorReport, merge_reports
 from repro.trace.tracefile import TraceReader
 
 LifeguardSpec = Union[str, Type[Lifeguard]]
+
+#: Upper bound on the default worker count: sharded replay is CPU-bound, so
+#: there is no benefit past the core count, and on very wide machines the
+#: per-process lifeguard setup dominates before that.
+MAX_DEFAULT_WORKERS = 8
+
+
+def default_workers() -> int:
+    """Bounded default replay worker count: ``min(os.cpu_count(), 8)``."""
+    return max(1, min(os.cpu_count() or 1, MAX_DEFAULT_WORKERS))
+
+
+def _resolve_workers(workers: Optional[int]) -> int:
+    """Apply the bounded default and reject non-positive worker counts."""
+    if workers is None:
+        return default_workers()
+    if workers < 1:
+        raise ValueError(
+            f"workers must be >= 1, got {workers} "
+            "(pass None for the bounded os.cpu_count() default)"
+        )
+    return workers
 
 
 def _resolve_lifeguard(spec: LifeguardSpec) -> Type[Lifeguard]:
@@ -151,16 +174,19 @@ def replay_trace(
 # ---------------------------------------------------------------------- sharded
 
 
-def _sum_stats(cls, items):
-    """Field-wise sum of homogeneous integer-stats dataclasses."""
-    merged = cls()
-    for stats_field in dataclasses.fields(cls):
-        setattr(
-            merged,
-            stats_field.name,
-            sum(getattr(item, stats_field.name) for item in items),
-        )
-    return merged
+def _contiguous_spans(num_chunks: int, workers: int) -> List[List[int]]:
+    """Split ``range(num_chunks)`` into up to ``workers`` contiguous spans."""
+    if not num_chunks:
+        return []
+    workers = min(workers, num_chunks)
+    base, extra = divmod(num_chunks, workers)
+    spans: List[List[int]] = []
+    start = 0
+    for worker in range(workers):
+        length = base + (1 if worker < extra else 0)
+        spans.append(list(range(start, start + length)))
+        start += length
+    return spans
 
 
 @dataclass
@@ -206,30 +232,18 @@ class ParallelReplay:
         trace_path: str,
         lifeguard: LifeguardSpec,
         config: Optional[SystemConfig] = None,
-        workers: int = 2,
+        workers: Optional[int] = None,
     ) -> None:
-        if workers < 1:
-            raise ValueError("workers must be >= 1")
         self.trace_path = trace_path
         self.lifeguard_cls = _resolve_lifeguard(lifeguard)
         self.config = config
-        self.workers = workers
+        self.workers = _resolve_workers(workers)
         with TraceReader(trace_path) as reader:
             self.num_chunks = reader.num_chunks
 
     def shards(self) -> List[List[int]]:
         """Contiguous chunk-index spans, one per worker (empty spans dropped)."""
-        if not self.num_chunks:
-            return []
-        workers = min(self.workers, self.num_chunks)
-        base, extra = divmod(self.num_chunks, workers)
-        spans: List[List[int]] = []
-        start = 0
-        for worker in range(workers):
-            length = base + (1 if worker < extra else 0)
-            spans.append(list(range(start, start + length)))
-            start += length
-        return spans
+        return _contiguous_spans(self.num_chunks, self.workers)
 
     def _shard_args(self):
         return [
@@ -238,8 +252,8 @@ class ParallelReplay:
         ]
 
     def _merge(self, shard_results: List[_ShardResult], workers: int, elapsed: float) -> ReplayResult:
-        dispatch = _sum_stats(DispatchStats, [s.dispatch for s in shard_results])
-        accel = _sum_stats(AcceleratorStats, [s.accelerator for s in shard_results])
+        dispatch = sum_stats(DispatchStats, [s.dispatch for s in shard_results])
+        accel = sum_stats(AcceleratorStats, [s.accelerator for s in shard_results])
         reports = merge_reports(*[s.reports for s in shard_results])
         return ReplayResult(
             lifeguard=self.lifeguard_cls.name,
@@ -267,3 +281,77 @@ class ParallelReplay:
         with multiprocessing.Pool(processes=len(args)) as pool:
             results = pool.map(_replay_shard, args)
         return self._merge(results, workers=len(args), elapsed=time.perf_counter() - start)
+
+
+class MultiTraceReplay:
+    """Sharded replay over a *set* of traces (one per application core).
+
+    The multi-core platform captures each application core's log channel as
+    its own chunked trace file.  This replays every file of such a set
+    through private lifeguard instances, reusing the per-file chunk index
+    for work splitting exactly like :class:`ParallelReplay`: each file's
+    chunk range is cut into contiguous spans, every ``(file, span)`` work
+    item is an independent decode (chunk boundaries are codec reset
+    points), and the per-item outcomes are summed field-wise with reports
+    merged deterministically.  ``run()`` and ``run_sequential()`` therefore
+    produce identical results regardless of worker count.
+    """
+
+    def __init__(
+        self,
+        trace_paths: Sequence[str],
+        lifeguard: LifeguardSpec,
+        config: Optional[SystemConfig] = None,
+        workers: Optional[int] = None,
+    ) -> None:
+        if not trace_paths:
+            raise ValueError("at least one trace path is required")
+        self.trace_paths = [str(path) for path in trace_paths]
+        self.lifeguard_cls = _resolve_lifeguard(lifeguard)
+        self.config = config
+        self.workers = _resolve_workers(workers)
+        self.chunks_per_trace: List[int] = []
+        for path in self.trace_paths:
+            with TraceReader(path) as reader:
+                self.chunks_per_trace.append(reader.num_chunks)
+        self.num_chunks = sum(self.chunks_per_trace)
+
+    def _work_items(self) -> List[Tuple[str, str, Optional[SystemConfig], Sequence[int]]]:
+        """One ``_replay_shard`` argument tuple per (file, contiguous span)."""
+        items = []
+        for path, num_chunks in zip(self.trace_paths, self.chunks_per_trace):
+            for span in _contiguous_spans(num_chunks, self.workers):
+                items.append((path, self.lifeguard_cls.name, self.config, span))
+        return items
+
+    def _merge(self, results: List[_ShardResult], workers: int, elapsed: float) -> ReplayResult:
+        dispatch = sum_stats(DispatchStats, [s.dispatch for s in results])
+        accel = sum_stats(AcceleratorStats, [s.accelerator for s in results])
+        reports = merge_reports(*[s.reports for s in results])
+        return ReplayResult(
+            lifeguard=self.lifeguard_cls.name,
+            records=sum(s.records for s in results),
+            chunks=self.num_chunks,
+            workers=workers,
+            dispatch=dispatch,
+            accelerator=accel,
+            reports=reports,
+            wall_seconds=elapsed,
+        )
+
+    def run_sequential(self) -> ReplayResult:
+        """Replay every work item in-process (reference for the parallel path)."""
+        start = time.perf_counter()
+        results = [_replay_shard(item) for item in self._work_items()]
+        return self._merge(results, workers=1, elapsed=time.perf_counter() - start)
+
+    def run(self) -> ReplayResult:
+        """Replay work items across worker processes and merge the results."""
+        items = self._work_items()
+        if len(items) <= 1 or self.workers <= 1:
+            return self.run_sequential()
+        start = time.perf_counter()
+        processes = min(self.workers, len(items))
+        with multiprocessing.Pool(processes=processes) as pool:
+            results = pool.map(_replay_shard, items)
+        return self._merge(results, workers=processes, elapsed=time.perf_counter() - start)

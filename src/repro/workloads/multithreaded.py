@@ -1,9 +1,12 @@
-"""Two-thread workloads for the LOCKSET study (Table 3 analogues).
+"""Multithreaded workloads for the LOCKSET study (Table 3 analogues).
 
 Each workload models the sharing pattern of one of the paper's five
-multithreaded benchmarks with two worker threads (the paper pins both to the
-application core; here they are interleaved deterministically by
-:class:`repro.isa.threads.ThreadedMachine`).  Shared data and locks live at
+multithreaded benchmarks with two worker threads by default (the paper pins
+both to the application core; here they are interleaved deterministically by
+:class:`repro.isa.threads.ThreadedMachine`).  Every sharing pattern
+generalises to N workers via the ``threads`` constructor argument, which the
+multi-core platform uses to spread real interleaved work across application
+cores.  Shared data and locks live at
 fixed addresses in the global-data segment so that both thread programs can
 name them; private working memory is heap-allocated per thread.
 
@@ -76,7 +79,7 @@ class Blast(Workload):
         return b.build()
 
     def build_programs(self) -> List[Program]:
-        return [self._thread_program(0), self._thread_program(1)]
+        return [self._thread_program(t) for t in range(self.num_threads)]
 
 
 @register_multithreaded
@@ -117,7 +120,7 @@ class Pbzip2(Workload):
         return b.build()
 
     def build_programs(self) -> List[Program]:
-        return [self._thread_program(0), self._thread_program(1)]
+        return [self._thread_program(t) for t in range(self.num_threads)]
 
 
 @register_multithreaded
@@ -142,7 +145,7 @@ class WaterNq(Workload):
 
     def _thread_program(self, thread_id: int) -> Program:
         molecules = 128
-        half = molecules // 2
+        half = max(1, molecules // self.num_threads)
         steps = self.iterations(8)
         base = SHARED_ARRAY_BASE + thread_id * half * 4
         b = ProgramBuilder(f"{self.name}_t{thread_id}")
@@ -169,7 +172,7 @@ class WaterNq(Workload):
         return b.build()
 
     def build_programs(self) -> List[Program]:
-        return [self._thread_program(0), self._thread_program(1)]
+        return [self._thread_program(t) for t in range(self.num_threads)]
 
 
 @register_multithreaded
@@ -213,4 +216,4 @@ class Zchaff(Workload):
         return b.build()
 
     def build_programs(self) -> List[Program]:
-        return [self._thread_program(0), self._thread_program(1)]
+        return [self._thread_program(t) for t in range(self.num_threads)]

@@ -1,0 +1,34 @@
+"""Golden-file regression for the Figure 2 experiment.
+
+The applicability matrix is a pure function of the lifeguard registry
+(no seeds involved; running it twice is trivially pinned), so its exact
+rendered output is committed under ``golden/`` and any drift -- a new
+lifeguard, a changed applicability flag, a formatting change -- fails CI
+instead of waiting for someone to eyeball a regenerated figure.
+
+To refresh after an intentional change::
+
+    PYTHONPATH=src python -c "
+    from repro.experiments.figure02 import format_figure02, run_figure02
+    open('tests/experiments/golden/figure02.txt', 'w').write(
+        format_figure02(run_figure02()) + '\\n')"
+"""
+
+import os
+
+from repro.experiments.figure02 import format_figure02, run_figure02
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden", "figure02.txt")
+
+
+def test_figure02_matches_golden_file():
+    with open(GOLDEN, encoding="utf-8") as handle:
+        expected = handle.read()
+    assert format_figure02(run_figure02()) + "\n" == expected
+
+
+def test_figure02_is_deterministic():
+    first = run_figure02()
+    second = run_figure02()
+    assert first == second
+    assert list(first) == list(second)  # row order is part of the figure

@@ -1,0 +1,114 @@
+"""Differential conformance matrix: every lifeguard × every workload.
+
+Three consumption paths must agree bit for bit on every cell of the
+matrix:
+
+* the per-record dispatch loop (``EventDispatcher.consume``),
+* the batched dispatch loop (``EventDispatcher.consume_batch``),
+* the multi-core platform at N=1 against the classic dual-core
+  :meth:`LBASystem.run` (which drives the per-record loop through the
+  full timing model).
+
+"Agree" means identical error reports, identical lifeguard cycle counts
+and identical statistics -- :class:`DispatchStats`,
+:class:`AcceleratorStats` and, for the full-system leg, the complete
+:class:`MonitoringResult` including the timing breakdown, producer
+statistics (exact log bytes) and mapper counters.
+
+The matrix spans all five lifeguards and *every* registered workload
+(the full SPEC-analogue suite plus the multithreaded Table 3 suite), so
+any new fast path that diverges from its reference path, on any workload
+family, fails here rather than in an experiment eyeball.
+
+Adding a lifeguard: register it in ``repro.lifeguards.ALL_LIFEGUARDS``
+and it joins the matrix automatically -- the parametrization below reads
+the registry.
+"""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.lba.capture import LogProducer
+from repro.lba.multicore import MultiCoreLBASystem
+from repro.lba.platform import LBASystem
+from repro.lifeguards import ALL_LIFEGUARDS
+from repro.trace.replay import build_pipeline
+from repro.workloads.base import get_workload, workload_names
+
+#: Small but non-trivial inputs: every workload still exercises its loops,
+#: allocations and annotations, and the whole matrix stays CI-friendly.
+SCALE = 0.15
+
+LIFEGUARDS = sorted(ALL_LIFEGUARDS)
+WORKLOADS = workload_names() + workload_names(multithreaded=True)
+
+
+@pytest.fixture(scope="module")
+def record_streams():
+    """Lazily-built cache of each workload's full record stream."""
+    streams = {}
+
+    def build(name):
+        if name not in streams:
+            producer = LogProducer(get_workload(name, scale=SCALE).build_machine(), None)
+            streams[name] = [record for record, _cost in producer.stream()]
+        return streams[name]
+
+    return build
+
+
+def _run_per_record(records, lifeguard_name):
+    lifeguard = ALL_LIFEGUARDS[lifeguard_name]()
+    accelerator, dispatcher = build_pipeline(lifeguard)
+    cycles = sum(dispatcher.consume(record) for record in records)
+    lifeguard.finalize()
+    return lifeguard, accelerator, dispatcher, cycles
+
+
+def _run_batched(records, lifeguard_name):
+    lifeguard = ALL_LIFEGUARDS[lifeguard_name]()
+    accelerator, dispatcher = build_pipeline(lifeguard)
+    cycles = dispatcher.consume_batch(records)
+    lifeguard.finalize()
+    return lifeguard, accelerator, dispatcher, cycles
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("lifeguard", LIFEGUARDS)
+def test_batched_dispatch_matches_per_record(record_streams, lifeguard, workload):
+    """``consume_batch`` is bit-identical to a ``consume`` loop on every cell."""
+    records = record_streams(workload)
+    assert records, f"workload {workload} produced no records"
+    per = _run_per_record(records, lifeguard)
+    batched = _run_batched(records, lifeguard)
+    assert per[2].stats == batched[2].stats          # DispatchStats
+    assert per[1].stats == batched[1].stats          # AcceleratorStats
+    assert per[3] == batched[3]                      # total lifeguard cycles
+    assert per[3] == per[2].stats.lifeguard_cycles
+    assert per[0].reports == batched[0].reports      # error reports
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("lifeguard", LIFEGUARDS)
+def test_multicore_single_core_matches_dual_core(lifeguard, workload):
+    """The N=1 multi-core platform reproduces ``LBASystem.run`` bit for bit."""
+    lifeguard_cls = ALL_LIFEGUARDS[lifeguard]
+    reference = LBASystem(
+        get_workload(workload, scale=SCALE).build_machine(),
+        lifeguard_cls(),
+        SystemConfig(),
+        workload_name=workload,
+    ).run()
+    multicore = MultiCoreLBASystem(
+        get_workload(workload, scale=SCALE).build_machine(),
+        lifeguard_cls,
+        SystemConfig(),
+        num_cores=1,
+        workload_name=workload,
+    ).run()
+    # MonitoringResult is a dataclass: this compares the timing breakdown
+    # (all cycle counts), dispatch/accelerator/producer/mapper statistics,
+    # the slowdown and the full report list in order.
+    assert multicore.merged == reference
+    assert multicore.stats.forwarded_records == 0
+    assert multicore.stats.records == reference.producer.records

@@ -1,0 +1,203 @@
+"""Multi-core platform: routing, forwarding, determinism and timing.
+
+The bit-identical N=1 anchor lives in ``test_conformance_matrix.py``;
+these tests cover the genuinely multi-core behaviours: shard routing
+policies, cross-core event forwarding (inter-thread inheritance), the
+deterministic shard merge, record conservation, per-core log channels
+and the generalised coupling recurrence.
+"""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.events import AnnotationRecord, EventType, InstructionRecord
+from repro.isa.threads import ThreadedMachine
+from repro.lba.multicore import (
+    SHARED_STATE_ANNOTATIONS,
+    MultiCoreCoupling,
+    MultiCoreLBASystem,
+    ShardRouter,
+)
+from repro.lba.platform import LBASystem
+from repro.lba.timing import CouplingModel
+from repro.lifeguards import ALL_LIFEGUARDS, LockSet
+from repro.workloads.base import get_workload
+from repro.workloads.bugs import racy_counter_programs
+
+
+def _multicore(workload, lifeguard, cores, policy="address", scale=0.3, threads=None):
+    machine = get_workload(workload, scale=scale, threads=threads).build_machine(
+        num_cores=cores
+    )
+    return MultiCoreLBASystem(
+        machine,
+        ALL_LIFEGUARDS[lifeguard],
+        SystemConfig(),
+        num_cores=cores,
+        shard_policy=policy,
+        workload_name=workload,
+    )
+
+
+class TestShardRouter:
+    def test_address_policy_is_stable_per_address(self):
+        router = ShardRouter(4, "address")
+        load = InstructionRecord(pc=0x1000, event_type=EventType.MEM_TO_REG,
+                                 src_addr=0x0900_0040, size=4, is_load=True)
+        store = InstructionRecord(pc=0x2000, event_type=EventType.REG_TO_MEM,
+                                  dest_addr=0x0900_0040, size=4, is_store=True,
+                                  thread_id=3)
+        # Same word, different threads: both land on the owning shard.
+        assert router.route(load) == router.route(store)
+
+    def test_thread_policy_routes_by_thread(self):
+        router = ShardRouter(2, "thread")
+        for thread_id in range(4):
+            record = InstructionRecord(pc=0, event_type=EventType.MEM_TO_REG,
+                                       src_addr=0x1000, size=4, is_load=True,
+                                       thread_id=thread_id)
+            assert router.route(record) == thread_id % 2
+
+    def test_shared_state_annotations_broadcast(self):
+        router = ShardRouter(4, "address")
+        lock = AnnotationRecord(EventType.LOCK, address=0x0813_0000, thread_id=1)
+        primary = router.route(lock)
+        targets = router.forward_targets(lock, primary)
+        assert sorted((primary, *targets)) == [0, 1, 2, 3]
+
+    def test_sink_annotations_are_not_broadcast(self):
+        router = ShardRouter(4, "address")
+        sink = AnnotationRecord(EventType.SYSCALL_WRITE, address=0x1000, size=16)
+        assert sink.event_type not in SHARED_STATE_ANNOTATIONS
+        assert router.forward_targets(sink, router.route(sink)) == ()
+
+    def test_cross_shard_memory_copy_forwards_to_source(self):
+        router = ShardRouter(8, "address")
+        copy = InstructionRecord(pc=0, event_type=EventType.MEM_TO_MEM,
+                                 dest_addr=0x0900_0000, src_addr=0x0A00_0040,
+                                 size=4, is_load=True, is_store=True)
+        primary = router.route(copy)
+        assert primary == router.shard_of_address(0x0900_0000)
+        assert router.forward_targets(copy, primary) == (
+            router.shard_of_address(0x0A00_0040),
+        )
+
+    def test_no_forwarding_with_one_shard(self):
+        router = ShardRouter(1, "address")
+        lock = AnnotationRecord(EventType.LOCK, address=0x10)
+        assert router.route(lock) == 0
+        assert router.forward_targets(lock, 0) == ()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="num_shards"):
+            ShardRouter(0)
+        with pytest.raises(ValueError, match="shard policy"):
+            ShardRouter(2, "round_robin")
+
+
+class TestMultiCorePlatform:
+    @pytest.mark.parametrize("cores", [2, 4])
+    def test_runs_are_deterministic(self, cores):
+        first = _multicore("pbzip2", "LockSet", cores).run()
+        second = _multicore("pbzip2", "LockSet", cores).run()
+        assert first.merged == second.merged
+        assert [s.reports for s in first.shards] == [s.reports for s in second.shards]
+        assert first.stats == second.stats
+
+    def test_every_record_is_consumed_exactly_once_plus_forwards(self):
+        result = _multicore("pbzip2", "MemCheck", 4).run()
+        consumed = sum(shard.dispatch.records_consumed for shard in result.shards)
+        assert consumed == result.stats.records + result.stats.forwarded_records
+        assert sum(shard.forwarded_records for shard in result.shards) == (
+            result.stats.forwarded_records
+        )
+
+    def test_per_core_channels_cover_the_stream(self):
+        result = _multicore("pbzip2", "AddrCheck", 4, threads=4).run()
+        # Four worker threads on four cores: every channel carried records,
+        # and the channels partition the stream.
+        assert all(producer.records for producer in result.producers)
+        assert sum(producer.records for producer in result.producers) == (
+            result.stats.records
+        )
+        assert result.merged.producer.records == result.stats.records
+
+    def test_more_cores_do_not_slow_monitoring_down(self):
+        """Spreading consumption over shards shrinks the lifeguard bottleneck."""
+        finishes = {}
+        for cores in (1, 2):
+            result = _multicore("mcf", "MemCheck", cores).run()
+            finishes[cores] = result.merged.timing.lifeguard_finish_cycles
+        assert finishes[2] < finishes[1]
+
+    def test_lockset_race_survives_address_sharding(self):
+        """Inter-thread inheritance across shards: the race is still caught.
+
+        Race detection is per-address state (routed to one owning shard)
+        refined by per-thread locksets (maintained from the broadcast
+        lock/unlock annotations), so address sharding preserves LOCKSET
+        reports exactly.
+        """
+        reference = LBASystem(
+            ThreadedMachine(racy_counter_programs()), LockSet(),
+            SystemConfig(), workload_name="racy",
+        ).run()
+        assert reference.reports, "reference run must detect the race"
+        sharded = MultiCoreLBASystem(
+            ThreadedMachine(racy_counter_programs(), num_cores=2), LockSet,
+            SystemConfig(), num_cores=2, shard_policy="address",
+            workload_name="racy",
+        ).run()
+        assert sharded.reports == reference.reports
+
+    def test_thread_sharding_documents_its_precision_loss(self):
+        """Thread sharding splits per-address state: the race is missed.
+
+        This is the documented approximation that makes ``address`` the
+        default policy; the test pins the behaviour so a silent change to
+        either policy is caught.
+        """
+        sharded = MultiCoreLBASystem(
+            ThreadedMachine(racy_counter_programs(), num_cores=2), LockSet,
+            SystemConfig(), num_cores=2, shard_policy="thread",
+            workload_name="racy",
+        ).run()
+        assert sharded.reports == []
+
+    def test_validation(self):
+        machine = get_workload("mcf", scale=0.2).build_machine()
+        with pytest.raises(ValueError, match="num_cores"):
+            MultiCoreLBASystem(machine, ALL_LIFEGUARDS["AddrCheck"], num_cores=0)
+        with pytest.raises(ValueError, match="trace writer"):
+            MultiCoreLBASystem(machine, ALL_LIFEGUARDS["AddrCheck"], num_cores=2,
+                               trace_writers=[None])
+
+
+class TestMultiCoreCoupling:
+    def test_single_pair_reduces_to_dual_core_model(self):
+        """1×1 multi-core coupling is bit-identical to ``CouplingModel``."""
+        import random
+
+        rng = random.Random(5)
+        reference = CouplingModel(8)
+        multicore = MultiCoreCoupling(1, 1, 8)
+        for _ in range(500):
+            app = rng.randrange(1, 20)
+            lifeguard = rng.randrange(0, 30)
+            barrier = rng.random() < 0.05
+            reference.observe(app, lifeguard, syscall_barrier=barrier)
+            multicore.observe(0, 0, app, lifeguard, syscall_barrier=barrier)
+        assert multicore.finish()[0] == reference.finish()
+
+    def test_syscall_barrier_drains_every_shard(self):
+        coupling = MultiCoreCoupling(1, 2, 8)
+        coupling.observe(0, 0, 1, 100)           # shard 0 falls far behind
+        coupling.observe(0, 1, 1, 1)
+        coupling.observe(0, 1, 1, 1, syscall_barrier=True)
+        breakdown = coupling.finish()[1]
+        # The barrier waited for shard 0's backlog, not just shard 1's.
+        assert breakdown.syscall_stall_cycles > 90
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            MultiCoreCoupling(1, 1, 0)

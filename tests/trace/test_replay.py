@@ -7,6 +7,8 @@ parallel sharded replay matches the equivalent sequential sharded replay
 stat for stat.
 """
 
+import os
+
 import pytest
 
 from repro.core.config import BASELINE_CONFIG, OPTIMIZED_CONFIG
@@ -15,7 +17,13 @@ from repro.lba.platform import LBASystem
 from repro.lifeguards import AddrCheck, MemCheck, TaintCheck
 from repro.lifeguards.base import MetadataMapper
 from repro.lifeguards.reports import merge_reports, report_counts
-from repro.trace.replay import ParallelReplay, replay_trace
+from repro.trace.replay import (
+    MAX_DEFAULT_WORKERS,
+    MultiTraceReplay,
+    ParallelReplay,
+    default_workers,
+    replay_trace,
+)
 from repro.trace.tracefile import TraceReader, TraceWriter
 from repro.workloads import attacks, bugs
 from tests.conftest import build_copy_loop
@@ -115,13 +123,63 @@ class TestParallelReplay:
 
     def test_worker_count_validation(self, tmp_path):
         path, _ = capture(tmp_path, build_copy_loop(8), AddrCheck())
-        with pytest.raises(ValueError):
-            ParallelReplay(path, AddrCheck, workers=0)
+        for bad in (0, -1, -100):
+            with pytest.raises(ValueError, match="workers must be >= 1"):
+                ParallelReplay(path, AddrCheck, workers=bad)
+
+    def test_default_worker_count_is_bounded_cpu_count(self, tmp_path):
+        path, _ = capture(tmp_path, build_copy_loop(8), AddrCheck())
+        replay = ParallelReplay(path, AddrCheck)
+        assert replay.workers == default_workers()
+        assert 1 <= replay.workers <= MAX_DEFAULT_WORKERS
+        assert replay.workers <= max(os.cpu_count() or 1, 1)
 
     def test_unknown_lifeguard_name(self, tmp_path):
         path, _ = capture(tmp_path, build_copy_loop(8), AddrCheck())
         with pytest.raises(KeyError, match="unknown lifeguard"):
             replay_trace(path, "NotALifeguard")
+
+
+class TestMultiTraceReplay:
+    """Per-core trace sets (multi-core capture) replayed as one merged run."""
+
+    def _capture_set(self, tmp_path, programs):
+        paths = []
+        for core, program in enumerate(programs):
+            path = tmp_path / f"core{core}.lbatrace"
+            with TraceWriter(path, chunk_bytes=256) as writer:
+                writer.extend(Machine(program).trace())
+            paths.append(str(path))
+        return paths
+
+    def test_parallel_matches_sequential(self, tmp_path):
+        paths = self._capture_set(
+            tmp_path, [bugs.use_after_free(), bugs.double_free(), build_copy_loop(32)]
+        )
+        replay = MultiTraceReplay(paths, AddrCheck, OPTIMIZED_CONFIG, workers=2)
+        parallel = replay.run()
+        sequential = replay.run_sequential()
+        assert parallel.records == sequential.records
+        assert parallel.dispatch == sequential.dispatch
+        assert parallel.accelerator == sequential.accelerator
+        assert parallel.reports == sequential.reports
+        assert parallel.chunks == sum(replay.chunks_per_trace)
+
+    def test_merged_set_equals_per_file_merge(self, tmp_path):
+        """The set replay is the deterministic merge of per-file replays."""
+        paths = self._capture_set(tmp_path, [bugs.use_after_free(), bugs.double_free()])
+        combined = MultiTraceReplay(paths, AddrCheck, OPTIMIZED_CONFIG, workers=1).run()
+        individual = [replay_trace(path, AddrCheck, OPTIMIZED_CONFIG) for path in paths]
+        assert combined.records == sum(r.records for r in individual)
+        assert combined.reports == merge_reports(*[r.reports for r in individual])
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="at least one trace"):
+            MultiTraceReplay([], AddrCheck)
+        paths = self._capture_set(tmp_path, [build_copy_loop(8)])
+        with pytest.raises(ValueError, match="workers must be >= 1"):
+            MultiTraceReplay(paths, AddrCheck, workers=0)
+        assert MultiTraceReplay(paths, AddrCheck).workers == default_workers()
 
 
 class TestReportMerging:
