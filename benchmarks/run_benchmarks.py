@@ -1,9 +1,10 @@
 """Hot-path throughput benchmarks with a tracked JSON trajectory.
 
-Measures the consumer pipeline stage by stage -- codec encode/decode,
-shadow-map writes and fills, per-record vs batched dispatch, and
-end-to-end trace replay -- and writes the results to ``BENCH_hotpath.json``
-so the perf trajectory is tracked in-repo from PR 2 onward.
+Measures the consumer pipeline stage by stage -- codec encode/decode
+(object and columnar), shadow-map writes and fills, per-record vs batched
+vs columnar dispatch, and end-to-end trace replay -- and writes the
+results to ``BENCH_hotpath.json`` so the perf trajectory is tracked
+in-repo from PR 2 onward.
 
 ``--multicore`` runs the multi-core scaling suite instead, recording a
 core-count scaling curve (sharded trace replay at 1/2/4 workers plus the
@@ -14,11 +15,16 @@ Usage::
     PYTHONPATH=src python benchmarks/run_benchmarks.py              # hot path
     PYTHONPATH=src python benchmarks/run_benchmarks.py --multicore  # scaling
     PYTHONPATH=src python benchmarks/run_benchmarks.py --smoke      # CI smoke
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --quick --check
     PYTHONPATH=src python benchmarks/run_benchmarks.py --output out.json
 
 The ``--smoke`` mode shrinks every record count so the whole suite finishes
 in a few seconds; it exists so CI can prove the benchmark entrypoints still
-run, not to produce meaningful numbers.
+run, not to produce meaningful numbers.  ``--quick`` runs the real mcf
+workload with fewer timing repeats (comparable numbers, a fraction of the
+wall time), and ``--check`` turns the run into a regression guard: it
+fails (exit code 1) if any replay stage drops more than
+``CHECK_TOLERANCE`` below the committed ``BENCH_hotpath.json`` values.
 """
 
 from __future__ import annotations
@@ -43,9 +49,16 @@ from repro.experiments.harness import (
     core_scaling_sweep,
     multicore_trace_paths,
 )
+from repro.lba.columnar import ColumnarEngine
 from repro.lifeguards import ALL_LIFEGUARDS
 from repro.memory.shadow import TwoLevelShadowMap
-from repro.trace.codec import RecordDecoder, decode_records, encode_records
+from repro.trace.codec import (
+    RecordColumns,
+    RecordDecoder,
+    decode_record_columns,
+    decode_records,
+    encode_records,
+)
 from repro.trace.replay import MultiTraceReplay, ParallelReplay, build_pipeline, replay_trace
 from repro.trace.tracefile import TraceReader, TraceWriter
 
@@ -69,6 +82,11 @@ STAGE_UNITS = {
     "shadow_write": "elements/s",
     "shadow_fill_bytes": "app_bytes/s",
 }
+
+#: Stages the ``--check`` regression guard compares against the committed
+#: BENCH_hotpath.json, and the allowed fraction of the committed value.
+CHECK_STAGES = ("replay_MemCheck", "replay_TaintCheck")
+CHECK_TOLERANCE = 0.70
 
 
 def synthetic_records(count):
@@ -137,6 +155,12 @@ def bench_codec(records, repeats):
     elapsed, n = _best_of(repeats, per_record_decode)
     assert n == len(records)
     stages["codec_decode_per_record"] = round(len(records) / elapsed)
+
+    elapsed, columns = _best_of(
+        repeats, lambda: decode_record_columns(data, len(records))
+    )
+    assert columns.records() == records, "columnar decode diverged"
+    stages["codec_decode_columns"] = round(len(records) / elapsed)
     return stages
 
 
@@ -190,6 +214,18 @@ def bench_dispatch(records, lifeguard_name, repeats):
     elapsed, batch_stats = _best_of(repeats, batched)
     stages[f"dispatch_batched_{lifeguard_name}"] = round(len(records) / elapsed)
     assert per_stats == batch_stats, "batched dispatch diverged from per-record"
+
+    columns = RecordColumns.from_records(records)
+
+    def columnar():
+        lifeguard = ALL_LIFEGUARDS[lifeguard_name]()
+        _, dispatcher = build_pipeline(lifeguard)
+        ColumnarEngine(dispatcher).consume_columns(columns)
+        return dispatcher.stats
+
+    elapsed, columnar_stats = _best_of(repeats, columnar)
+    stages[f"dispatch_columnar_{lifeguard_name}"] = round(len(records) / elapsed)
+    assert per_stats == columnar_stats, "columnar dispatch diverged from per-record"
     return stages
 
 
@@ -202,10 +238,13 @@ def bench_replay(trace_path, total_records, lifeguards, repeats):
     return stages
 
 
-def run(smoke=False, scale=1.0):
+def run(smoke=False, scale=1.0, quick=False):
     # Best-of-N timing: N=9 rides out scheduler noise on small containers
     # (each stage pass is well under a second, so this stays cheap).
-    repeats = 1 if smoke else 9
+    # Quick mode keeps the real workload but trims the repeats -- numbers
+    # stay comparable, the wall time drops to a CI-friendly handful of
+    # seconds.
+    repeats = 1 if smoke else (3 if quick else 9)
 
     with tempfile.TemporaryDirectory() as tmp:
         trace_path = os.path.join(tmp, "hotpath.lbatrace")
@@ -249,7 +288,7 @@ def run(smoke=False, scale=1.0):
         }
     return {
         "benchmark": "hotpath",
-        "mode": "smoke" if smoke else "full",
+        "mode": "smoke" if smoke else ("quick" if quick else "full"),
         "workload": workload,
         "records": len(records),
         "units": {stage: STAGE_UNITS.get(stage, "records/s") for stage in stages},
@@ -369,11 +408,54 @@ def _print_multicore(results):
                   f"sim speedup {row['sim_speedup']:>5.2f}x")
 
 
+def check_regression(results, committed):
+    """Fail (return non-zero) if a replay stage regressed past the tolerance.
+
+    Compares the just-measured replay stages against the committed
+    ``BENCH_hotpath.json`` stage values (loaded *before* the run, since
+    the run may rewrite that file); a stage below ``CHECK_TOLERANCE``
+    times its committed value means the hot path lost more throughput
+    than run-to-run noise explains.
+    """
+    failures = []
+    for stage in CHECK_STAGES:
+        reference = committed.get(stage)
+        measured = results["stages"].get(stage)
+        if not reference or not measured:
+            continue
+        floor = reference * CHECK_TOLERANCE
+        status = "ok" if measured >= floor else "REGRESSION"
+        print(
+            f"  check {stage}: {measured:,} vs committed {reference:,} "
+            f"(floor {round(floor):,}) {status}"
+        )
+        if measured < floor:
+            failures.append(stage)
+    if failures:
+        print(f"benchmark check FAILED: {', '.join(failures)} below "
+              f"{CHECK_TOLERANCE:.0%} of the committed throughput")
+        return 1
+    print("benchmark check passed")
+    return 0
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--smoke", action="store_true",
         help="tiny record counts: proves the entrypoints run (CI), numbers meaningless",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="real workload, fewer timing repeats: comparable numbers, CI-friendly wall time",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail if replay throughput drops >30%% below the committed BENCH_hotpath.json",
+    )
+    parser.add_argument(
+        "--check-baseline", default=None,
+        help="baseline JSON for --check (default: the committed BENCH_hotpath.json)",
     )
     parser.add_argument(
         "--scale", type=float, default=1.0,
@@ -389,13 +471,38 @@ def main(argv=None):
              "BENCH_hotpath.json, or BENCH_multicore.json with --multicore)",
     )
     args = parser.parse_args(argv)
+    if args.check and (args.multicore or args.smoke):
+        # --check compares the hotpath replay stages against the committed
+        # full-mode baseline: the multicore suite has no such stages and
+        # smoke numbers are not comparable, so both combinations would
+        # either no-op or always fail.
+        parser.error("--check requires the hotpath suite in full or --quick mode")
     default_name = "BENCH_multicore.json" if args.multicore else "BENCH_hotpath.json"
-    output = args.output or os.path.join(_ROOT, default_name)
+    if args.output:
+        output = args.output
+    elif args.smoke or (args.quick and not args.multicore):
+        # Don't let a lower-fidelity run silently replace the committed
+        # baseline at the repo root.
+        output = os.path.join(tempfile.gettempdir(), default_name)
+    else:
+        output = os.path.join(_ROOT, default_name)
+
+    committed = None
+    if args.check:
+        # Load the committed baseline before running: the default output
+        # path is the baseline file itself.
+        baseline_path = args.check_baseline or os.path.join(_ROOT, "BENCH_hotpath.json")
+        try:
+            with open(baseline_path) as handle:
+                committed = json.load(handle).get("stages", {})
+        except OSError as exc:
+            print(f"benchmark check: cannot read baseline {baseline_path}: {exc}")
+            return 1
 
     if args.multicore:
         results = run_multicore(smoke=args.smoke, scale=args.scale)
     else:
-        results = run(smoke=args.smoke, scale=args.scale)
+        results = run(smoke=args.smoke, scale=args.scale, quick=args.quick)
     with open(output, "w") as handle:
         json.dump(results, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -411,6 +518,8 @@ def main(argv=None):
         if stage in results["speedup_vs_pre_pr_baseline"]:
             note = f"   ({results['speedup_vs_pre_pr_baseline'][stage]}x vs pre-PR)"
         print(f"  {stage:<{width}}  {rate:>14,} {unit}{note}")
+    if args.check:
+        return check_regression(results, committed)
     return 0
 
 

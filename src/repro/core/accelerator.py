@@ -40,11 +40,18 @@ from repro.core.mtlb import MetadataTLB
 Record = Union[InstructionRecord, AnnotationRecord]
 
 #: Precomputed ordinals of the checking event types (hot classify path).
-_ORD_MEM_LOAD = EventType.MEM_LOAD.ordinal
-_ORD_MEM_STORE = EventType.MEM_STORE.ordinal
-_ORD_ADDR_COMPUTE = EventType.ADDR_COMPUTE.ordinal
-_ORD_COND_TEST = EventType.COND_TEST.ordinal
-_ORD_INDIRECT_JUMP = EventType.INDIRECT_JUMP.ordinal
+#: Public: the columnar engine's check classification indexes the same
+#: flat ETCT table with the same ordinals.
+ORD_MEM_LOAD = EventType.MEM_LOAD.ordinal
+ORD_MEM_STORE = EventType.MEM_STORE.ordinal
+ORD_ADDR_COMPUTE = EventType.ADDR_COMPUTE.ordinal
+ORD_COND_TEST = EventType.COND_TEST.ordinal
+ORD_INDIRECT_JUMP = EventType.INDIRECT_JUMP.ordinal
+_ORD_MEM_LOAD = ORD_MEM_LOAD
+_ORD_MEM_STORE = ORD_MEM_STORE
+_ORD_ADDR_COMPUTE = ORD_ADDR_COMPUTE
+_ORD_COND_TEST = ORD_COND_TEST
+_ORD_INDIRECT_JUMP = ORD_INDIRECT_JUMP
 
 
 @dataclass(frozen=True)
@@ -127,6 +134,15 @@ class EventAccelerator:
         )
         #: live ordinal-indexed ETCT entry table (mutated in place by register)
         self._table = etct.handler_table()
+
+    @property
+    def uses_propagation(self) -> bool:
+        """True if the attached lifeguard registered any propagation handler.
+
+        The gate the pipeline applies before routing a record through IT;
+        the columnar engine mirrors the same gate per run.
+        """
+        return self._uses_propagation
 
     # ------------------------------------------------------------------ main entry
 

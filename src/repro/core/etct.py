@@ -80,6 +80,18 @@ class ETCTEntry:
         else:
             self._filter_mode = 0
 
+    @property
+    def filter_mode(self) -> int:
+        """Shape of this entry's Idempotent-Filter key.
+
+        ``1`` for ``(CC, address, size)``, ``2`` for ``(CC, address, size,
+        thread_id)``, ``0`` for any other cacheable-field tuple (callers
+        must then build the key through :meth:`ETCT.filter_key`).  The
+        columnar engine uses this to build keys straight from the decoded
+        columns without a :class:`DeliveredEvent`.
+        """
+        return self._filter_mode
+
 
 class ETCT:
     """The event type configuration table of one lifeguard.

@@ -198,6 +198,33 @@ _CLASS_BY_ORDINAL: Tuple[EventClass, ...] = tuple(
 
 del _ordinal, _event_type
 
+# ---------------------------------------------------------------------------
+# Instruction-record field presence/flag bits.
+#
+# One bit per optional :class:`InstructionRecord` field (plus the four
+# boolean flags).  The trace codec uses exactly these bits as its on-wire
+# presence bitmap, and the columnar record pipeline
+# (:class:`repro.trace.codec.RecordColumns`, :mod:`repro.lba.columnar`)
+# uses the same bitmap to mark which column entries are live for a row, so
+# a decoded flags word means the same thing at every layer.  The seven most
+# frequent fields occupy the low bits so the common load/move records keep
+# the codec's flags varint to a single byte.
+# ---------------------------------------------------------------------------
+
+F_DEST_REG = 1 << 0
+F_SRC_REG = 1 << 1
+F_DEST_ADDR = 1 << 2
+F_SRC_ADDR = 1 << 3
+F_SIZE = 1 << 4
+F_IS_LOAD = 1 << 5
+F_BASE_REG = 1 << 6
+F_IS_STORE = 1 << 7
+F_INDEX_REG = 1 << 8
+F_IMMEDIATE = 1 << 9
+F_COND_TEST = 1 << 10
+F_INDIRECT_JUMP = 1 << 11
+F_THREAD = 1 << 12
+
 
 class InstructionRecord(NamedTuple):
     """A per-retired-instruction log record.

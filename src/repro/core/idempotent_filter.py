@@ -98,6 +98,51 @@ class IdempotentFilter:
         stats.insertions += 1
         return False
 
+    def filter_address_run(self, cc: int, addresses, sizes, rows: List[int],
+                           thread_ids=None) -> List[int]:
+        """Vectorized dedup of one homogeneous check run over address columns.
+
+        ``rows`` selects the run's rows in the parallel ``addresses``/
+        ``sizes`` (and optionally ``thread_ids``) columns; every row is
+        looked up (and on a miss inserted) exactly as ``lookup_insert``
+        would with the key ``(cc, address, size[, thread_id])``, in row
+        order, with the per-lookup stats folded once at the end.  Returns
+        the rows that *missed* -- the checks that must still be delivered
+        to the lifeguard.  Only valid for runs where nothing between two
+        lookups can touch the filter (instruction-record runs: handlers
+        never mutate the filter, only rare annotation events do).
+        """
+        stats = self.stats
+        sets = self._sets
+        num_sets = self._num_sets
+        ways = self._ways
+        misses: List[int] = []
+        append_miss = misses.append
+        insertions = 0
+        for row in rows:
+            if thread_ids is None:
+                key = (cc, addresses[row], sizes[row])
+            else:
+                key = (cc, addresses[row], sizes[row], thread_ids[row])
+            index = 0 if num_sets == 1 else hash(key) % num_sets
+            entries = sets.get(index)
+            if entries is None:
+                entries = sets[index] = OrderedDict()
+            if key in entries:
+                entries.move_to_end(key)
+                continue
+            if len(entries) >= ways:
+                entries.popitem(last=False)
+            entries[key] = None
+            insertions += 1
+            append_miss(row)
+        lookups = len(rows)
+        stats.lookups += lookups
+        stats.misses += insertions
+        stats.hits += lookups - insertions
+        stats.insertions += insertions
+        return misses
+
     def contains(self, key: Hashable) -> bool:
         """True if ``key`` is currently cached (no side effects)."""
         index = self._set_index(key)

@@ -18,7 +18,7 @@ lifeguard-core cycles:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Union
+from typing import Iterable, List, Optional, Union
 
 from repro.cache.hierarchy import AccessType, MemoryHierarchy
 from repro.core.accelerator import EventAccelerator
@@ -182,3 +182,75 @@ class EventDispatcher:
             stats.miss_handler_instructions += miss_total
             stats.lifeguard_cycles += total_cycles
         return total_cycles
+
+    def consume_each(self, records: Iterable[Record]) -> List[int]:
+        """Process a record sequence; returns the cycles of *each* record.
+
+        The per-record-resolution twin of :meth:`consume_batch`: identical
+        events, handler invocations and accounting, with the loop constants
+        hoisted once and a cycles entry appended per record.  For batch
+        consumers that need per-record cycle costs (e.g. to feed a timing
+        model) *without* a shared cache hierarchy -- with one, the
+        producer/consumer access interleaving is part of the model and
+        consumption must stay per-record (see
+        :meth:`repro.lba.multicore.MultiCoreLBASystem.run`).
+        """
+        stats = self.stats
+        mapper = self.lifeguard.mapper()
+        begin_event = mapper.begin_event
+        end_event = mapper.end_event
+        process = self.accelerator.process
+        table = self._table
+        hierarchy = self.hierarchy
+        hierarchy_access = hierarchy.access if hierarchy is not None else None
+        core_index = self.core_index
+        translation_instructions = self._translation.instructions
+        miss_cost = self._miss_cost
+
+        per_record: List[int] = []
+        append = per_record.append
+        records_consumed = 0
+        events_handled = 0
+        handler_total = 0
+        mapping_total = 0
+        miss_total = 0
+        total_cycles = 0
+        try:
+            for record in records:
+                records_consumed += 1
+                cycles = 0
+                for event in process(record):
+                    entry = table[event.event_type.ordinal]
+                    if entry is None or entry.handler is None:
+                        continue
+                    events_handled += 1
+                    begin_event()
+                    entry.handler(event)
+                    usage = end_event()
+
+                    instructions = entry.handler_instructions
+                    mapping_instr = usage.translations * translation_instructions
+                    miss_instr = usage.mtlb_misses * miss_cost
+                    handler_total += instructions
+                    mapping_total += mapping_instr
+                    miss_total += miss_instr
+
+                    event_cycles = NLBA_CYCLES + instructions + mapping_instr + miss_instr
+                    if hierarchy_access is not None:
+                        for metadata_address in usage.metadata_addresses:
+                            event_cycles += hierarchy_access(
+                                core_index, metadata_address, AccessType.DATA_READ, size=4
+                            )
+                    else:
+                        event_cycles += len(usage.metadata_addresses)
+                    cycles += event_cycles
+                append(cycles)
+                total_cycles += cycles
+        finally:
+            stats.records_consumed += records_consumed
+            stats.events_handled += events_handled
+            stats.handler_instructions += handler_total
+            stats.mapping_instructions += mapping_total
+            stats.miss_handler_instructions += miss_total
+            stats.lifeguard_cycles += total_cycles
+        return per_record

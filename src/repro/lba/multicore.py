@@ -421,7 +421,20 @@ class MultiCoreLBASystem:
         return thread_id % self.num_cores
 
     def run(self, config_label: str = "") -> MultiCoreResult:
-        """Run the monitored program to completion and merge shard results."""
+        """Run the monitored program to completion and merge shard results.
+
+        Consumption is deliberately per-record here: the application-core
+        accounting and the lifeguard-shard dispatch interleave their
+        accesses through the *shared* L2, so any batching that reorders
+        ``account``/``consume`` across records would perturb the cache
+        timing and break the bit-identical N=1 anchor against
+        :meth:`LBASystem.run`.  The fast paths live on the offline side:
+        captured per-core traces replay through the columnar engine
+        (:class:`repro.trace.replay.MultiTraceReplay` decodes each shard's
+        chunks straight into columns), and per-record-resolution batch
+        consumers without a shared hierarchy can use
+        :meth:`EventDispatcher.consume_each`.
+        """
         channels = self.channels
         shards = self.shards
         router = self.router

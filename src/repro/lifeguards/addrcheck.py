@@ -19,7 +19,7 @@ from typing import Dict, List, Optional
 from repro.core.etct import InvalidationPolicy
 from repro.core.events import DeliveredEvent, EventType
 from repro.lifeguards.base import Lifeguard
-from repro.lifeguards.reports import ErrorKind
+from repro.lifeguards.reports import ErrorKind, ErrorReport
 from repro.memory.address_space import SegmentLayout
 from repro.memory.shadow import MetadataMap, TwoLevelShadowMap
 
@@ -89,6 +89,13 @@ class AddrCheck(Lifeguard):
     def primary_map(self) -> MetadataMap:
         return self.accessible
 
+    def columnar_handlers(self):
+        """Span fast paths (see :meth:`Lifeguard.columnar_handlers`)."""
+        return {
+            EventType.MEM_LOAD: (self._fast_mem_access, True),
+            EventType.MEM_STORE: (self._fast_mem_access, True),
+        }
+
     # ------------------------------------------------------------------ helpers
 
     def _in_heap(self, address: int) -> bool:
@@ -102,11 +109,9 @@ class AddrCheck(Lifeguard):
 
     # ------------------------------------------------------------------ handlers
 
-    def _on_memory_access(self, event: DeliveredEvent) -> None:
-        address = event.dest_addr if event.dest_addr is not None else event.src_addr
-        if address is None:
-            return
-        size = max(event.size, 1)
+    def _fast_mem_access(self, address: int, size: int, pc: int, thread_id: int) -> None:
+        """Span twin of the accessibility check (engine calls it per run row)."""
+        size = max(size, 1)
         # One metadata probe per access (the frequent path checks the first
         # byte's element; the slow path walks the rest of the range one
         # element at a time, testing whole accessible-bit spans per read).
@@ -128,11 +133,22 @@ class AddrCheck(Lifeguard):
                     break
                 probe = upper
         if bad:
-            self.report(
-                ErrorKind.INVALID_ACCESS, event,
-                f"access to unallocated address {address:#x} (size {size})",
-                address=address,
+            self.reports.append(
+                ErrorReport(
+                    kind=ErrorKind.INVALID_ACCESS,
+                    lifeguard=self.name,
+                    pc=pc,
+                    address=address,
+                    thread_id=thread_id,
+                    message=f"access to unallocated address {address:#x} (size {size})",
+                )
             )
+
+    def _on_memory_access(self, event: DeliveredEvent) -> None:
+        address = event.dest_addr if event.dest_addr is not None else event.src_addr
+        if address is None:
+            return
+        self._fast_mem_access(address, event.size, event.pc, event.thread_id)
 
     def _on_malloc(self, event: DeliveredEvent) -> None:
         address, size = event.dest_addr, event.size

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.etct import ETCT
 from repro.core.events import DeliveredEvent, EventType
@@ -98,13 +98,32 @@ class MetadataMapper:
         usage = self._usage
         stats.translations += 1
         usage.translations += 1
-        if self.mtlb is not None:
-            metadata_address, hit = self.mtlb.lma(app_address)
-            if hit:
+        mtlb = self.mtlb
+        if mtlb is not None:
+            # Inlined M-TLB hit path (the overwhelmingly common case): one
+            # CAM probe plus LRU touch, without the extra ``lma`` frame.
+            # The miss path goes through ``lma`` proper, whose lookup/miss
+            # counters then account the probe we skipped here.
+            address = app_address & 0xFFFF_FFFF
+            entries = mtlb._entries
+            level1 = address >> mtlb._l1_shift
+            chunk_start = entries.get(level1)
+            if chunk_start is not None and mtlb.lma_config_register is not None:
+                entries.move_to_end(level1)
+                mtlb_stats = mtlb.stats
+                mtlb_stats.lookups += 1
+                mtlb_stats.hits += 1
                 stats.mtlb_hits += 1
+                metadata_address = chunk_start + (
+                    (address >> mtlb._offset_bits) & mtlb._l2_mask
+                ) * mtlb._element_size
             else:
-                stats.mtlb_misses += 1
-                usage.mtlb_misses += 1
+                metadata_address, hit = mtlb.lma(app_address)
+                if hit:
+                    stats.mtlb_hits += 1
+                else:
+                    stats.mtlb_misses += 1
+                    usage.mtlb_misses += 1
         else:
             metadata_address = self.shadow_map.translate(app_address)
             if self._software_two_level:
@@ -112,6 +131,48 @@ class MetadataMapper:
                 usage.metadata_addresses.append(level1_entry)
         usage.metadata_addresses.append(metadata_address)
         return metadata_address
+
+    def translate_span(self, start: int, stop: int, step: int) -> None:
+        """Translate every ``step``-th address in ``[start, stop)``.
+
+        The batch twin of calling :meth:`translate` in a loop, used by the
+        lifeguards' columnar span handlers: the M-TLB runs its batched
+        ``lma_run`` (same CAM state, fills and miss-handler order), the
+        software path hoists the map lookup, and the mapper/usage counters
+        are folded once -- every observable side effect is identical to the
+        scalar loop.
+        """
+        if start >= stop:
+            return
+        stats = self.stats
+        usage = self._usage
+        mtlb = self.mtlb
+        if mtlb is not None:
+            translations, misses = mtlb.lma_run(
+                start, stop, step, usage.metadata_addresses
+            )
+            stats.translations += translations
+            stats.mtlb_misses += misses
+            stats.mtlb_hits += translations - misses
+            usage.translations += translations
+            usage.mtlb_misses += misses
+            return
+        translate_map = self.shadow_map.translate
+        append = usage.metadata_addresses.append
+        count = 0
+        if self._software_two_level:
+            level1_index = self.shadow_map.level1_index
+            for address in range(start, stop, step):
+                count += 1
+                metadata_address = translate_map(address)
+                append(LEVEL1_TABLE_BASE + level1_index(address) * 4)
+                append(metadata_address)
+        else:
+            for address in range(start, stop, step):
+                count += 1
+                append(translate_map(address))
+        stats.translations += count
+        usage.translations += count
 
     # ------------------------------------------------------------------ event scoping
 
@@ -233,6 +294,43 @@ class Lifeguard(ABC):
         """Cumulative mapper statistics (empty when no event ran yet)."""
         return self._mapper.stats if self._mapper is not None else MapperStats()
 
+    def columnar_handlers(self) -> Dict[EventType, Tuple[Callable, bool]]:
+        """Span fast paths for the columnar dispatch engine.
+
+        Maps an event type to ``(fast_handler, translates)``.  A fast
+        handler is the scalar-argument twin of the registered ETCT handler
+        for that event type: it performs *exactly* the same metadata reads/
+        writes, mapper translations and error reports, but takes the event
+        fields as positional arguments so the engine never materialises a
+        :class:`DeliveredEvent`.  ``translates`` tells the engine whether
+        the handler can perform metadata translations (when ``False`` the
+        engine skips the per-event usage scoping entirely).
+
+        The expected signature per event type (arguments may be ``None``
+        exactly when the corresponding event field would be)::
+
+            MEM_LOAD / MEM_STORE    fn(address, size, pc, thread_id)
+            ADDR_COMPUTE            fn(base_reg, index_reg, pc, thread_id, address)
+            COND_TEST               fn(src_reg, src_addr, size, pc, thread_id)
+            INDIRECT_JUMP           fn(src_reg, src_addr, size, pc, thread_id)
+            IMM_TO_MEM              fn(dest_addr, size)
+            MEM_TO_MEM              fn(dest_addr, src_addr, size)
+            MEM_TO_REG              fn(dest_reg, src_addr, size)
+            REG_TO_MEM              fn(src_reg, dest_addr, size)
+            DEST_REG_OP_MEM         fn(dest_reg, src_reg, src_addr, size, pc, thread_id)
+
+        The default is no fast paths; lifeguards opt in per event type.
+        Subclasses that override scalar handlers must override this too (or
+        return ``{}``), otherwise the inherited fast paths would bypass
+        their extensions.
+
+        Contract for ``COND_TEST`` / ``INDIRECT_JUMP`` / ``DEST_REG_OP_MEM``
+        fast handlers: they may translate only through their ``src_addr``
+        argument (the event's only memory operand) -- the engine skips the
+        per-event usage scoping for whole runs without a source address.
+        """
+        return {}
+
     def meta_read_bits(self, app_address: int, bits: int) -> int:
         """Translate and read the per-byte bit field covering ``app_address``."""
         self.mapper().translate(app_address)
@@ -262,15 +360,11 @@ class Lifeguard(ABC):
         """
         if size <= 0:
             return
-        mapper = self.mapper()
         shadow = self.primary_map()
         chunk_span = shadow.app_bytes_per_element
         if isinstance(shadow, TwoLevelShadowMap):
             chunk_span = (1 << shadow.level2_bits) * shadow.app_bytes_per_element
-        address = start
-        while address < start + size:
-            mapper.translate(address)
-            address += chunk_span
+        self.mapper().translate_span(start, start + size, chunk_span)
         shadow.fill_bits(start, size, bits, value)
 
     def report(self, kind: ErrorKind, event: DeliveredEvent, message: str,

@@ -131,6 +131,20 @@ class MemCheck(Lifeguard):
     def primary_map(self) -> MetadataMap:
         return self.shadow
 
+    def columnar_handlers(self):
+        """Span fast paths (see :meth:`Lifeguard.columnar_handlers`)."""
+        return {
+            EventType.MEM_LOAD: (self._fast_mem_access, True),
+            EventType.MEM_STORE: (self._fast_mem_access, True),
+            EventType.ADDR_COMPUTE: (self._fast_addr_compute, False),
+            EventType.COND_TEST: (self._fast_cond_test, True),
+            EventType.IMM_TO_MEM: (self._fast_imm_to_mem, True),
+            EventType.MEM_TO_MEM: (self._fast_mem_to_mem, True),
+            EventType.MEM_TO_REG: (self._fast_mem_to_reg, True),
+            EventType.REG_TO_MEM: (self._fast_reg_to_mem, True),
+            EventType.DEST_REG_OP_MEM: (self._fast_dest_reg_op_mem, True),
+        }
+
     # ------------------------------------------------------------------ region policy
 
     def _in_heap(self, address: int) -> bool:
@@ -170,6 +184,16 @@ class MemCheck(Lifeguard):
         read_element = shadow.read_element
         write_element = shadow.write_element
         per_element = shadow.app_bytes_per_element
+        offset = address % per_element
+        if offset + size <= per_element and address >= self._layout.heap_base:
+            # Fast path: a fully tracked span inside one element -- one
+            # read-modify-write plus one translation, exactly what the
+            # general loop below performs for this shape.
+            mask = self._span_initialized_masks[size] << (offset * 2)
+            element = read_element(address)
+            write_element(address, element | mask if initialized else element & ~mask)
+            self.mapper().translate(address)
+            return
         span_masks = self._span_initialized_masks
         tracked_base = self._layout.heap_base
         end = address + size
@@ -188,13 +212,8 @@ class MemCheck(Lifeguard):
                 new = element | mask if initialized else element & ~mask
                 write_element(probe, new)
             probe = upper
-        # One translation per element for cost purposes.
-        mapper = self.mapper()
-        translate = mapper.translate
-        probe = address
-        while probe < end:
-            translate(probe)
-            probe += per_element
+        # One translation per element for cost purposes (batched M-TLB run).
+        self.mapper().translate_span(address, end, per_element)
 
     def _range_bits_missing(self, address: int, size: int, span_masks) -> bool:
         """True if any covered byte lacks the span-mask bit.
@@ -204,12 +223,16 @@ class MemCheck(Lifeguard):
         unchanged) and tests whole spans with a mask instead of per byte.
         """
         size = max(size, 1)
-        per_element = self.shadow.app_bytes_per_element
-        read_element = self.meta_read_element
+        shadow = self.shadow
+        per_element = shadow.app_bytes_per_element
+        mapper = self._mapper
+        translate = (mapper if mapper is not None else self.mapper()).translate
+        read_element = shadow.read_element
         missing = False
         probe = address
         end = address + size
         while probe < end:
+            translate(probe)
             element = read_element(probe)
             offset = probe % per_element
             upper = min(end, probe - offset + per_element)
@@ -230,39 +253,98 @@ class MemCheck(Lifeguard):
         return self._range_bits_missing(address, size, self._span_accessible_masks)
 
     # ------------------------------------------------------------------ check handlers
+    #
+    # The frequent handlers are implemented as *span fast paths* taking the
+    # event fields as scalars (the columnar engine calls them straight off
+    # the decoded columns); the scalar ``_on_*`` handlers delegate to them,
+    # so both consumption paths share one implementation.
+
+    def _fast_mem_access(self, address: int, size: int, pc: int, thread_id: int) -> None:
+        """Span twin of the load/store accessibility check."""
+        layout = self._layout
+        if not layout.heap_base <= address < layout.mmap_base:
+            return
+        shadow = self.shadow
+        per_element = shadow.app_bytes_per_element
+        offset = address % per_element
+        span = max(size, 1)
+        if offset + span <= per_element:
+            # Whole access inside one element: one translation, one read.
+            mapper = self._mapper
+            (mapper if mapper is not None else self.mapper()).translate(address)
+            element = shadow.read_element(address)
+            mask = self._span_accessible_masks[span] << (offset * 2)
+            if element & mask == mask:
+                return
+        elif not self._range_bits_missing(address, span, self._span_accessible_masks):
+            return
+        self.reports.append(
+            ErrorReport(
+                kind=ErrorKind.INVALID_ACCESS,
+                lifeguard=self.name,
+                pc=pc,
+                address=address,
+                thread_id=thread_id,
+                message=f"access to unallocated address {address:#x}",
+            )
+        )
 
     def _on_memory_access(self, event: DeliveredEvent) -> None:
         address = event.dest_addr if event.dest_addr is not None else event.src_addr
         if address is None:
             return
-        if self._range_inaccessible(address, event.size):
-            self.report(
-                ErrorKind.INVALID_ACCESS, event,
-                f"access to unallocated address {address:#x}", address=address,
-            )
+        self._fast_mem_access(address, event.size, event.pc, event.thread_id)
 
-    def _on_addr_compute(self, event: DeliveredEvent) -> None:
-        for reg in (event.base_reg, event.index_reg):
-            if reg is not None and self.register_meta.get(reg) == _REG_UNINITIALIZED:
-                self.report(
-                    ErrorKind.UNINITIALIZED_USE, event,
-                    f"uninitialised value used as address register r{reg}",
+    def _fast_addr_compute(self, base_reg, index_reg, pc, thread_id, address) -> None:
+        """Span twin of the address-computation input check (no metadata)."""
+        register_meta = self.register_meta
+        for reg in (base_reg, index_reg):
+            if reg is not None and register_meta.get(reg) == _REG_UNINITIALIZED:
+                self.reports.append(
+                    ErrorReport(
+                        kind=ErrorKind.UNINITIALIZED_USE,
+                        lifeguard=self.name,
+                        pc=pc,
+                        address=address,
+                        thread_id=thread_id,
+                        message=f"uninitialised value used as address register r{reg}",
+                    )
                 )
 
+    def _on_addr_compute(self, event: DeliveredEvent) -> None:
+        self._fast_addr_compute(
+            event.base_reg, event.index_reg, event.pc, event.thread_id, event.dest_addr
+        )
+
+    def _fast_cond_test(self, src_reg, src_addr, size, pc, thread_id) -> None:
+        """Span twin of the conditional-test input check."""
+        if src_reg is not None and self.register_meta.get(src_reg) == _REG_UNINITIALIZED:
+            self.reports.append(
+                ErrorReport(
+                    kind=ErrorKind.UNINITIALIZED_USE,
+                    lifeguard=self.name,
+                    pc=pc,
+                    address=src_addr,
+                    thread_id=thread_id,
+                    message=f"uninitialised register r{src_reg} used in conditional test",
+                )
+            )
+        if src_addr is not None and size and self._range_uninitialized(src_addr, size):
+            self.reports.append(
+                ErrorReport(
+                    kind=ErrorKind.UNINITIALIZED_USE,
+                    lifeguard=self.name,
+                    pc=pc,
+                    address=src_addr,
+                    thread_id=thread_id,
+                    message=f"uninitialised memory {src_addr:#x} used in conditional test",
+                )
+            )
+
     def _on_cond_test(self, event: DeliveredEvent) -> None:
-        if event.src_reg is not None and self.register_meta.get(event.src_reg) == _REG_UNINITIALIZED:
-            self.report(
-                ErrorKind.UNINITIALIZED_USE, event,
-                f"uninitialised register r{event.src_reg} used in conditional test",
-            )
-        if event.src_addr is not None and event.size and self._range_uninitialized(
-            event.src_addr, event.size
-        ):
-            self.report(
-                ErrorKind.UNINITIALIZED_USE, event,
-                f"uninitialised memory {event.src_addr:#x} used in conditional test",
-                address=event.src_addr,
-            )
+        self._fast_cond_test(
+            event.src_reg, event.src_addr, event.size, event.pc, event.thread_id
+        )
 
     # ------------------------------------------------------------------ propagation handlers
 
@@ -270,9 +352,29 @@ class MemCheck(Lifeguard):
         if event.dest_reg is not None:
             self.register_meta[event.dest_reg] = _REG_INITIALIZED
 
+    def _fast_imm_to_mem(self, dest_addr, size) -> None:
+        """Span twin: a constant store initialises its destination range.
+
+        Inlines the fully-tracked single-element fast path of
+        :meth:`_set_range_initialized` (the overwhelmingly common store
+        shape).
+        """
+        if dest_addr is None:
+            return
+        size = max(size, 1)
+        shadow = self.shadow
+        per_element = shadow.app_bytes_per_element
+        offset = dest_addr % per_element
+        if offset + size <= per_element and dest_addr >= self._layout.heap_base:
+            mask = self._span_initialized_masks[size] << (offset * 2)
+            shadow.write_element(dest_addr, shadow.read_element(dest_addr) | mask)
+            mapper = self._mapper
+            (mapper if mapper is not None else self.mapper()).translate(dest_addr)
+            return
+        self._set_range_initialized(dest_addr, size, True)
+
     def _on_imm_to_mem(self, event: DeliveredEvent) -> None:
-        if event.dest_addr is not None:
-            self._set_range_initialized(event.dest_addr, event.size, True)
+        self._fast_imm_to_mem(event.dest_addr, event.size)
 
     def _on_reg_to_reg(self, event: DeliveredEvent) -> None:
         if event.dest_reg is not None and event.src_reg is not None:
@@ -280,29 +382,60 @@ class MemCheck(Lifeguard):
                 event.src_reg, _REG_INITIALIZED
             )
 
-    def _on_reg_to_mem(self, event: DeliveredEvent) -> None:
-        if event.dest_addr is None:
+    def _fast_reg_to_mem(self, src_reg, dest_addr, size) -> None:
+        """Span twin: a register store copies the register's initialised state."""
+        if dest_addr is None:
             return
         src_state = (
-            self.register_meta.get(event.src_reg, _REG_INITIALIZED)
-            if event.src_reg is not None
+            self.register_meta.get(src_reg, _REG_INITIALIZED)
+            if src_reg is not None
             else _REG_INITIALIZED
         )
-        self._set_range_initialized(event.dest_addr, event.size, src_state == _REG_INITIALIZED)
+        self._set_range_initialized(dest_addr, size, src_state == _REG_INITIALIZED)
+
+    def _on_reg_to_mem(self, event: DeliveredEvent) -> None:
+        self._fast_reg_to_mem(event.src_reg, event.dest_addr, event.size)
+
+    def _fast_mem_to_reg(self, dest_reg, src_addr, size) -> None:
+        """Span twin: a load inherits the source range's initialised state."""
+        if dest_reg is None or src_addr is None:
+            return
+        uninit = self._range_uninitialized(src_addr, size)
+        self.register_meta[dest_reg] = _REG_UNINITIALIZED if uninit else _REG_INITIALIZED
 
     def _on_mem_to_reg(self, event: DeliveredEvent) -> None:
-        if event.dest_reg is None or event.src_addr is None:
-            return
-        uninit = self._range_uninitialized(event.src_addr, event.size)
-        self.register_meta[event.dest_reg] = _REG_UNINITIALIZED if uninit else _REG_INITIALIZED
+        self._fast_mem_to_reg(event.dest_reg, event.src_addr, event.size)
 
-    def _on_mem_to_mem(self, event: DeliveredEvent) -> None:
-        if event.dest_addr is None or event.src_addr is None:
+    def _fast_mem_to_mem(self, dest_addr, src_addr, size) -> None:
+        """Span twin: a memory copy moves per-byte initialised bits."""
+        if dest_addr is None or src_addr is None:
             return
-        size = max(event.size, 1)
-        bits = self._read_range_bits(event.src_addr, size)
+        size = max(size, 1)
+        shadow = self.shadow
+        per_element = shadow.app_bytes_per_element
+        if (
+            size == per_element
+            and not dest_addr % per_element
+            and not src_addr % per_element
+            and dest_addr >= self._layout.heap_base
+        ):
+            # Aligned whole-element copy over a fully tracked destination:
+            # each field keeps its accessible bit and takes the source's
+            # initialised bit -- one translation + one masked element move,
+            # exactly what the byte loop below computes for this shape.
+            mapper = self._mapper
+            (mapper if mapper is not None else self.mapper()).translate(src_addr)
+            src_element = shadow.read_element(src_addr)
+            init_mask = self._span_initialized_masks[per_element]
+            shadow.write_element(
+                dest_addr,
+                (shadow.read_element(dest_addr) & ~init_mask)
+                | (src_element & init_mask),
+            )
+            return
+        bits = self._read_range_bits(src_addr, size)
         for offset, src_bits in enumerate(bits):
-            dest_byte = event.dest_addr + offset
+            dest_byte = dest_addr + offset
             if not self._tracked_for_init(dest_byte):
                 continue
             current = self.shadow.read_bits(dest_byte, 2)
@@ -311,6 +444,9 @@ class MemCheck(Lifeguard):
             else:
                 current &= ~_INITIALIZED_BIT
             self.shadow.write_bits(dest_byte, 2, current)
+
+    def _on_mem_to_mem(self, event: DeliveredEvent) -> None:
+        self._fast_mem_to_mem(event.dest_addr, event.src_addr, event.size)
 
     def _check_nonunary_sources(self, event: DeliveredEvent, check_dest_reg: bool = True) -> None:
         if (
@@ -340,6 +476,51 @@ class MemCheck(Lifeguard):
         self._check_nonunary_sources(event)
         if event.dest_reg is not None:
             self.register_meta[event.dest_reg] = _REG_INITIALIZED
+
+    def _fast_dest_reg_op_mem(self, dest_reg, src_reg, src_addr, size, pc, thread_id) -> None:
+        """Span twin of the binary reg-op-mem handler (no ``dest_addr``).
+
+        The columnar engine only routes events without a destination
+        address here, so the register-use reports' default address is
+        ``None`` exactly as in the scalar path.
+        """
+        register_meta = self.register_meta
+        reports = self.reports
+        if dest_reg is not None and register_meta.get(dest_reg) == _REG_UNINITIALIZED:
+            reports.append(
+                ErrorReport(
+                    kind=ErrorKind.UNINITIALIZED_USE,
+                    lifeguard=self.name,
+                    pc=pc,
+                    address=None,
+                    thread_id=thread_id,
+                    message=f"uninitialised register r{dest_reg} used in computation",
+                )
+            )
+        if src_reg is not None and register_meta.get(src_reg) == _REG_UNINITIALIZED:
+            reports.append(
+                ErrorReport(
+                    kind=ErrorKind.UNINITIALIZED_USE,
+                    lifeguard=self.name,
+                    pc=pc,
+                    address=None,
+                    thread_id=thread_id,
+                    message=f"uninitialised register r{src_reg} used in computation",
+                )
+            )
+        if src_addr is not None and size and self._range_uninitialized(src_addr, size):
+            reports.append(
+                ErrorReport(
+                    kind=ErrorKind.UNINITIALIZED_USE,
+                    lifeguard=self.name,
+                    pc=pc,
+                    address=src_addr,
+                    thread_id=thread_id,
+                    message=f"uninitialised memory {src_addr:#x} used in computation",
+                )
+            )
+        if dest_reg is not None:
+            register_meta[dest_reg] = _REG_INITIALIZED
 
     def _on_dest_reg_op_mem(self, event: DeliveredEvent) -> None:
         self._check_nonunary_sources(event)

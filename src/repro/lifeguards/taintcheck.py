@@ -22,7 +22,7 @@ from typing import Optional
 from repro.core.etct import InvalidationPolicy
 from repro.core.events import DeliveredEvent, EventType
 from repro.lifeguards.base import Lifeguard
-from repro.lifeguards.reports import ErrorKind
+from repro.lifeguards.reports import ErrorKind, ErrorReport
 from repro.memory.shadow import MetadataMap, TwoLevelShadowMap
 
 #: register taint values
@@ -56,6 +56,11 @@ class TaintCheck(Lifeguard):
             sum(1 << (i * _TAINT_BITS) for i in range(n))
             for n in range(per_element + 1)
         )
+        #: whole-element fill pattern with every per-byte field = _TAINTED
+        #: (the pattern ``fill_bits`` would replicate across the element)
+        self._element_taint_pattern = sum(
+            _TAINTED << (i * _TAINT_BITS) for i in range(per_element)
+        )
 
         register = self.etct.register_handler
         # -- propagation -----------------------------------------------------
@@ -80,6 +85,17 @@ class TaintCheck(Lifeguard):
 
     def primary_map(self) -> MetadataMap:
         return self.taint
+
+    def columnar_handlers(self):
+        """Span fast paths (see :meth:`Lifeguard.columnar_handlers`)."""
+        return {
+            EventType.INDIRECT_JUMP: (self._fast_indirect_jump, True),
+            EventType.IMM_TO_MEM: (self._fast_imm_to_mem, True),
+            EventType.MEM_TO_MEM: (self._fast_mem_to_mem, True),
+            EventType.MEM_TO_REG: (self._fast_mem_to_reg, True),
+            EventType.REG_TO_MEM: (self._fast_reg_to_mem, True),
+            EventType.DEST_REG_OP_MEM: (self._fast_dest_reg_op_mem, True),
+        }
 
     # ------------------------------------------------------------------ metadata helpers
 
@@ -114,7 +130,20 @@ class TaintCheck(Lifeguard):
 
     def set_memory_taint(self, address: int, size: int, tainted: bool) -> None:
         """Set the taint of every byte in ``[address, address+size)``."""
-        self.meta_fill_range(address, max(size, 1), _TAINT_BITS, _TAINTED if tainted else _CLEAN)
+        size = max(size, 1)
+        taint = self.taint
+        per_element = taint.app_bytes_per_element
+        if size == per_element and address % per_element == 0:
+            # Fast path: one aligned element -- a single translation plus
+            # one whole-element store, exactly what ``meta_fill_range`` +
+            # ``fill_bits`` perform for this shape.
+            mapper = self._mapper
+            (mapper if mapper is not None else self.mapper()).translate(address)
+            taint._fill_elements(
+                address, 1, self._element_taint_pattern if tainted else 0
+            )
+            return
+        self.meta_fill_range(address, size, _TAINT_BITS, _TAINTED if tainted else _CLEAN)
 
     @property
     def shadow_bytes_per_element(self) -> int:
@@ -130,50 +159,97 @@ class TaintCheck(Lifeguard):
     def _on_imm_to_reg(self, event: DeliveredEvent) -> None:
         self._set_register(event.dest_reg, False)
 
+    def _fast_imm_to_mem(self, dest_addr, size) -> None:
+        """Span twin: a constant store cleans its destination range.
+
+        Inlines the aligned-single-element fast path of
+        :meth:`set_memory_taint` (the overwhelmingly common store shape).
+        """
+        if dest_addr is None:
+            return
+        size = max(size, 1)
+        taint = self.taint
+        per_element = taint.app_bytes_per_element
+        if size == per_element and dest_addr % per_element == 0:
+            mapper = self._mapper
+            (mapper if mapper is not None else self.mapper()).translate(dest_addr)
+            taint._fill_elements(dest_addr, 1, 0)
+            return
+        self.meta_fill_range(dest_addr, size, _TAINT_BITS, _CLEAN)
+
     def _on_imm_to_mem(self, event: DeliveredEvent) -> None:
-        if event.dest_addr is not None:
-            self.set_memory_taint(event.dest_addr, event.size, False)
+        self._fast_imm_to_mem(event.dest_addr, event.size)
 
     def _on_reg_to_reg(self, event: DeliveredEvent) -> None:
         self._set_register(event.dest_reg, self.register_tainted(event.src_reg))
 
+    def _fast_reg_to_mem(self, src_reg, dest_addr, size) -> None:
+        """Span twin: a register store writes the register's taint."""
+        if dest_addr is not None:
+            self.set_memory_taint(dest_addr, size, self.register_tainted(src_reg))
+
     def _on_reg_to_mem(self, event: DeliveredEvent) -> None:
-        if event.dest_addr is not None:
-            self.set_memory_taint(event.dest_addr, event.size, self.register_tainted(event.src_reg))
+        self._fast_reg_to_mem(event.src_reg, event.dest_addr, event.size)
+
+    def _fast_mem_to_reg(self, dest_reg, src_addr, size) -> None:
+        """Span twin: a load inherits the source range's taint."""
+        if src_addr is not None:
+            self._set_register(dest_reg, self.memory_tainted(src_addr, size))
 
     def _on_mem_to_reg(self, event: DeliveredEvent) -> None:
-        if event.src_addr is not None:
-            self._set_register(event.dest_reg, self.memory_tainted(event.src_addr, event.size))
+        self._fast_mem_to_reg(event.dest_reg, event.src_addr, event.size)
 
-    def _on_mem_to_mem(self, event: DeliveredEvent) -> None:
-        if event.dest_addr is None or event.src_addr is None:
+    def _fast_mem_to_mem(self, dest_addr, src_addr, size) -> None:
+        """Span twin: a memory copy moves per-byte taint."""
+        if dest_addr is None or src_addr is None:
             return
-        size = max(event.size, 1)
+        size = max(size, 1)
+        taint = self.taint
+        per_element = taint.app_bytes_per_element
+        mapper = self._mapper
+        if mapper is None:
+            mapper = self.mapper()
+        if size == per_element and not dest_addr % per_element and not src_addr % per_element:
+            # Aligned whole-element copy: keeping only the tainted bit of
+            # every per-byte field (the byte loop writes 01/00 fields) is
+            # one masked element move.
+            taint.write_element(
+                dest_addr, taint.read_element(src_addr) & self._element_taint_pattern
+            )
+            mapper.translate(src_addr)
+            mapper.translate(dest_addr)
+            return
         # Copy per-byte taint from source to destination.
-        read_bits = self.taint.read_bits
-        write_bits = self.taint.write_bits
-        src_addr = event.src_addr
-        dest_addr = event.dest_addr
+        read_bits = taint.read_bits
+        write_bits = taint.write_bits
         for offset in range(size):
             tainted = read_bits(src_addr + offset, _TAINT_BITS) & 1
             write_bits(dest_addr + offset, _TAINT_BITS, _TAINTED if tainted else _CLEAN)
-        mapper = self.mapper()
-        per_element = self.shadow_bytes_per_element
         probe = 0
         while probe < size:
-            mapper.translate(event.src_addr + probe)
-            mapper.translate(event.dest_addr + probe)
+            mapper.translate(src_addr + probe)
+            mapper.translate(dest_addr + probe)
             probe += per_element
+
+    def _on_mem_to_mem(self, event: DeliveredEvent) -> None:
+        self._fast_mem_to_mem(event.dest_addr, event.src_addr, event.size)
 
     def _on_dest_reg_op_reg(self, event: DeliveredEvent) -> None:
         tainted = self.register_tainted(event.dest_reg) or self.register_tainted(event.src_reg)
         self._set_register(event.dest_reg, tainted)
 
+    def _fast_dest_reg_op_mem(self, dest_reg, src_reg, src_addr, size, pc, thread_id) -> None:
+        """Span twin: a binary reg-op-mem taints the destination register."""
+        tainted = self.register_tainted(dest_reg)
+        if src_addr is not None:
+            tainted = tainted or self.memory_tainted(src_addr, size)
+        self._set_register(dest_reg, tainted)
+
     def _on_dest_reg_op_mem(self, event: DeliveredEvent) -> None:
-        tainted = self.register_tainted(event.dest_reg)
-        if event.src_addr is not None:
-            tainted = tainted or self.memory_tainted(event.src_addr, event.size)
-        self._set_register(event.dest_reg, tainted)
+        self._fast_dest_reg_op_mem(
+            event.dest_reg, event.src_reg, event.src_addr, event.size,
+            event.pc, event.thread_id,
+        )
 
     def _on_dest_mem_op_reg(self, event: DeliveredEvent) -> None:
         if event.dest_addr is None:
@@ -196,20 +272,35 @@ class TaintCheck(Lifeguard):
 
     # ------------------------------------------------------------------ check handlers
 
+    def _fast_indirect_jump(self, src_reg, src_addr, size, pc, thread_id) -> None:
+        """Span twin of the tainted-control-transfer sink check."""
+        if self.register_tainted(src_reg):
+            self.reports.append(
+                ErrorReport(
+                    kind=ErrorKind.TAINT_VIOLATION,
+                    lifeguard=self.name,
+                    pc=pc,
+                    address=src_addr,
+                    thread_id=thread_id,
+                    message=f"indirect jump through tainted register r{src_reg}",
+                )
+            )
+        if src_addr is not None and size and self.memory_tainted(src_addr, size):
+            self.reports.append(
+                ErrorReport(
+                    kind=ErrorKind.TAINT_VIOLATION,
+                    lifeguard=self.name,
+                    pc=pc,
+                    address=src_addr,
+                    thread_id=thread_id,
+                    message=f"indirect control transfer through tainted memory {src_addr:#x}",
+                )
+            )
+
     def _on_indirect_jump(self, event: DeliveredEvent) -> None:
-        if self.register_tainted(event.src_reg):
-            self.report(
-                ErrorKind.TAINT_VIOLATION, event,
-                f"indirect jump through tainted register r{event.src_reg}",
-            )
-        if event.src_addr is not None and event.size and self.memory_tainted(
-            event.src_addr, event.size
-        ):
-            self.report(
-                ErrorKind.TAINT_VIOLATION, event,
-                f"indirect control transfer through tainted memory {event.src_addr:#x}",
-                address=event.src_addr,
-            )
+        self._fast_indirect_jump(
+            event.src_reg, event.src_addr, event.size, event.pc, event.thread_id
+        )
 
     # ------------------------------------------------------------------ rare handlers
 

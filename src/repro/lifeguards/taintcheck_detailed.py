@@ -69,6 +69,13 @@ class TaintCheckDetailed(TaintCheck):
     # handlers below, and their extra cost is reflected in the raised
     # ``handler_instructions`` above.
 
+    def columnar_handlers(self):
+        """No span fast paths: the overridden handlers below extend the
+        plain TaintCheck ones with provenance recording, so inheriting the
+        parent's fast paths would silently skip that work.  The columnar
+        engine falls back to generic event delivery instead."""
+        return {}
+
     # ------------------------------------------------------------------ provenance helpers
 
     def _word_base(self, address: int) -> int:

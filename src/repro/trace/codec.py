@@ -23,16 +23,33 @@ re-encoding the decoded stream reproduces the identical bytes.
 
 from __future__ import annotations
 
-from typing import List, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.events import (
     EVENT_TYPES,
+    F_BASE_REG,
+    F_COND_TEST,
+    F_DEST_ADDR,
+    F_DEST_REG,
+    F_IMMEDIATE,
+    F_INDEX_REG,
+    F_INDIRECT_JUMP,
+    F_IS_LOAD,
+    F_IS_STORE,
+    F_SIZE,
+    F_SRC_ADDR,
+    F_SRC_REG,
+    F_THREAD,
     AnnotationRecord,
     EventType,
     InstructionRecord,
 )
 
 Record = Union[InstructionRecord, AnnotationRecord]
+
+#: Byte sources the decoder accepts: indexing must yield ints, so both
+#: ``bytes`` and zero-copy ``memoryview`` slices over a larger buffer work.
+ByteSource = Union[bytes, bytearray, memoryview]
 
 
 class TraceCodecError(ValueError):
@@ -42,22 +59,23 @@ class TraceCodecError(ValueError):
 #: Stable wire identifier per event type: its ``ordinal`` (definition order).
 _EVENT_BY_WIRE_ID = EVENT_TYPES
 
-# Presence/flag bits of an instruction record's bitmap.  The seven most
-# frequent fields occupy the low bits so the common load/move records keep
-# the flags varint to a single byte.
-_F_DEST_REG = 1 << 0
-_F_SRC_REG = 1 << 1
-_F_DEST_ADDR = 1 << 2
-_F_SRC_ADDR = 1 << 3
-_F_SIZE = 1 << 4
-_F_IS_LOAD = 1 << 5
-_F_BASE_REG = 1 << 6
-_F_IS_STORE = 1 << 7
-_F_INDEX_REG = 1 << 8
-_F_IMMEDIATE = 1 << 9
-_F_COND_TEST = 1 << 10
-_F_INDIRECT_JUMP = 1 << 11
-_F_THREAD = 1 << 12
+# Presence/flag bits of an instruction record's bitmap: the canonical
+# field-presence bits of :mod:`repro.core.events`, which this codec uses
+# verbatim as its on-wire bitmap (aliased with the historical underscore
+# names the encode/decode bodies were written against).
+_F_DEST_REG = F_DEST_REG
+_F_SRC_REG = F_SRC_REG
+_F_DEST_ADDR = F_DEST_ADDR
+_F_SRC_ADDR = F_SRC_ADDR
+_F_SIZE = F_SIZE
+_F_IS_LOAD = F_IS_LOAD
+_F_BASE_REG = F_BASE_REG
+_F_IS_STORE = F_IS_STORE
+_F_INDEX_REG = F_INDEX_REG
+_F_IMMEDIATE = F_IMMEDIATE
+_F_COND_TEST = F_COND_TEST
+_F_INDIRECT_JUMP = F_INDIRECT_JUMP
+_F_THREAD = F_THREAD
 
 # Presence bits of an annotation record's bitmap.
 _A_ADDRESS = 1 << 0
@@ -128,13 +146,24 @@ class RecordEncoder:
     def encode(self, record: Record) -> bytes:
         """Serialize one record and advance the delta state."""
         out = bytearray()
+        self.encode_into(out, record)
+        return bytes(out)
+
+    def encode_into(self, out: bytearray, record: Record) -> int:
+        """Serialize one record by appending to ``out``; returns its byte count.
+
+        The zero-copy twin of :meth:`encode`: stream writers that already
+        accumulate a chunk buffer append straight into it instead of paying
+        a ``bytes`` allocation + copy per record.
+        """
+        before = len(out)
         if isinstance(record, AnnotationRecord):
             self._encode_annotation(out, record)
         elif isinstance(record, InstructionRecord):
             self._encode_instruction(out, record)
         else:
             raise TraceCodecError(f"cannot encode {type(record).__name__}")
-        return bytes(out)
+        return len(out) - before
 
     def measure(self, record: Record) -> int:
         """Exact encoded size of ``record`` *without* advancing the state."""
@@ -225,6 +254,179 @@ class RecordEncoder:
             self._last_pc = record.pc
         if flags & _A_PAYLOAD:
             _write_varint(out, _zigzag(record.payload))
+
+
+class RecordColumns:
+    """A decoded chunk as a structure of arrays (one entry per record row).
+
+    Instead of one :class:`InstructionRecord` object per record, a chunk is
+    decoded into parallel per-field columns indexed by row:
+
+    * ``kind`` (``bytearray``): 0 for an instruction row whose fields live
+      in the columns, 1 for a row stored as a ready-made record object in
+      the sparse ``objects`` dict (annotation records and anything else the
+      columnar decoder does not flatten);
+    * ``ordinal`` (``bytearray``): the event type ordinal of the row;
+    * ``flags``: the field-presence bitmap of the row, using the canonical
+      ``F_*`` bits of :mod:`repro.core.events` -- a column entry is only
+      meaningful when its presence bit is set;
+    * value columns (``pc``, ``dest_reg``, ``src_reg``, ``dest_addr``,
+      ``src_addr``, ``size``, ``base_reg``, ``index_reg``, ``thread_id``):
+      pre-sized Python lists.  Lists (rather than ``array``) keep the
+      decoded ints as objects, so the hot consumers re-read fields without
+      re-boxing; absent entries hold the column default (0 / -1) and must
+      not be consulted without checking ``flags``;
+    * ``immediates``: sparse ``{row: value}`` dict (the immediate operand is
+      informational and rare, so it does not earn a dense column).
+
+    :meth:`record` materialises one row back into the exact record object
+    the scalar decoder would have produced, which is what the per-record
+    fallback path of the columnar dispatch engine consumes.
+    """
+
+    __slots__ = (
+        "n", "kind", "ordinal", "flags", "pc", "dest_reg", "src_reg",
+        "dest_addr", "src_addr", "size", "base_reg", "index_reg",
+        "thread_id", "immediates", "objects", "runs",
+    )
+
+    def __init__(self, count: int) -> None:
+        self.n = count
+        self.kind = bytearray(count)
+        self.ordinal = bytearray(count)
+        self.flags: List[int] = [0] * count
+        self.pc: List[int] = [0] * count
+        self.dest_reg: List[int] = [-1] * count
+        self.src_reg: List[int] = [-1] * count
+        self.dest_addr: List[int] = [0] * count
+        self.src_addr: List[int] = [0] * count
+        self.size: List[int] = [0] * count
+        self.base_reg: List[int] = [-1] * count
+        self.index_reg: List[int] = [-1] * count
+        self.thread_id: List[int] = [0] * count
+        self.immediates: Dict[int, int] = {}
+        self.objects: Dict[int, Record] = {}
+        #: run-length grouping ``(start, stop, ordinal, flags)`` over
+        #: maximal row spans sharing one (ordinal, presence-bitmap) key;
+        #: object rows (annotations) appear as ordinal ``-1`` runs.  Built
+        #: by the decoder (the previous row's key is already in hand), so
+        #: consumers iterate runs without re-scanning the columns.
+        self.runs: List[Tuple[int, int, int, int]] = []
+
+    def __len__(self) -> int:
+        return self.n
+
+    def build_runs(self) -> None:
+        """(Re)build :attr:`runs` from the columns (idempotent)."""
+        self.runs = []
+        append = self.runs.append
+        kind = self.kind
+        ordinal = self.ordinal
+        flags = self.flags
+        prev_ord = -2
+        prev_flags = 0
+        run_start = 0
+        for row in range(self.n):
+            row_ord = -1 if kind[row] else ordinal[row]
+            row_flags = 0 if kind[row] else flags[row]
+            if row_ord != prev_ord or row_flags != prev_flags:
+                if row:
+                    append((run_start, row, prev_ord, prev_flags))
+                run_start = row
+                prev_ord = row_ord
+                prev_flags = row_flags
+        if self.n:
+            append((run_start, self.n, prev_ord, prev_flags))
+
+    def record(self, row: int) -> Record:
+        """Materialise one row as the record object the scalar decoder builds."""
+        if self.kind[row]:
+            return self.objects[row]
+        flags = self.flags[row]
+        return InstructionRecord(
+            self.pc[row],
+            EVENT_TYPES[self.ordinal[row]],
+            self.dest_reg[row] if flags & F_DEST_REG else None,
+            self.src_reg[row] if flags & F_SRC_REG else None,
+            self.dest_addr[row] if flags & F_DEST_ADDR else None,
+            self.src_addr[row] if flags & F_SRC_ADDR else None,
+            self.size[row],
+            bool(flags & F_IS_LOAD),
+            bool(flags & F_IS_STORE),
+            self.base_reg[row] if flags & F_BASE_REG else None,
+            self.index_reg[row] if flags & F_INDEX_REG else None,
+            bool(flags & F_COND_TEST),
+            bool(flags & F_INDIRECT_JUMP),
+            self.thread_id[row],
+            self.immediates.get(row) if flags & F_IMMEDIATE else None,
+        )
+
+    def records(self, start: int = 0, stop: Optional[int] = None) -> List[Record]:
+        """Materialise a row span as record objects (fallback / test helper)."""
+        if stop is None:
+            stop = self.n
+        return [self.record(row) for row in range(start, stop)]
+
+    @classmethod
+    def from_records(cls, records) -> "RecordColumns":
+        """Build columns from in-memory record objects.
+
+        The inverse of :meth:`records`: every instruction record is
+        flattened into the columns with a presence bitmap identical to the
+        one the wire codec would produce, and annotation (or foreign)
+        records are kept as row objects.  ``columns.record(i)`` round-trips
+        to an equal record for every row.
+        """
+        records = list(records)
+        columns = cls(len(records))
+        for row, record in enumerate(records):
+            if not isinstance(record, InstructionRecord):
+                columns.kind[row] = 1
+                columns.objects[row] = record
+                if isinstance(record, AnnotationRecord):
+                    columns.ordinal[row] = record.event_type.ordinal
+                continue
+            flags = 0
+            if record.dest_reg is not None:
+                flags |= F_DEST_REG
+                columns.dest_reg[row] = record.dest_reg
+            if record.src_reg is not None:
+                flags |= F_SRC_REG
+                columns.src_reg[row] = record.src_reg
+            if record.dest_addr is not None:
+                flags |= F_DEST_ADDR
+                columns.dest_addr[row] = record.dest_addr
+            if record.src_addr is not None:
+                flags |= F_SRC_ADDR
+                columns.src_addr[row] = record.src_addr
+            if record.base_reg is not None:
+                flags |= F_BASE_REG
+                columns.base_reg[row] = record.base_reg
+            if record.index_reg is not None:
+                flags |= F_INDEX_REG
+                columns.index_reg[row] = record.index_reg
+            if record.immediate is not None:
+                flags |= F_IMMEDIATE
+                columns.immediates[row] = record.immediate
+            if record.size:
+                flags |= F_SIZE
+                columns.size[row] = record.size
+            if record.is_load:
+                flags |= F_IS_LOAD
+            if record.is_store:
+                flags |= F_IS_STORE
+            if record.is_cond_test:
+                flags |= F_COND_TEST
+            if record.is_indirect_jump:
+                flags |= F_INDIRECT_JUMP
+            if record.thread_id:
+                flags |= F_THREAD
+                columns.thread_id[row] = record.thread_id
+            columns.ordinal[row] = record.event_type.ordinal
+            columns.flags[row] = flags
+            columns.pc[row] = record.pc
+        columns.build_runs()
+        return columns
 
 
 class RecordDecoder:
@@ -441,6 +643,238 @@ class RecordDecoder:
             self._last_addr = committed_addr
         return records, offset
 
+    def decode_columns(self, data: ByteSource, count: int) -> Tuple[RecordColumns, int]:
+        """Batch-decode ``count`` records into :class:`RecordColumns`.
+
+        The structure-of-arrays twin of :meth:`decode_many`: the varint
+        reads, zigzag maths and delta chains are identical, but instruction
+        records are written straight into pre-sized per-field columns with
+        zero per-record object construction.  Annotation records (rare) are
+        materialised as objects into the sparse ``objects`` dict.  ``data``
+        may be any indexable byte source (``bytes`` or a zero-copy
+        ``memoryview``).  Returns ``(columns, next_offset)``; the delta
+        state advances only past fully decoded records, exactly as in
+        :meth:`decode_many`.
+        """
+        if count < 0:
+            raise TraceCodecError("decode_columns requires a known record count")
+        columns = RecordColumns(count)
+        kind_col = columns.kind
+        ordinal_col = columns.ordinal
+        flags_col = columns.flags
+        pc_col = columns.pc
+        dest_reg_col = columns.dest_reg
+        src_reg_col = columns.src_reg
+        dest_addr_col = columns.dest_addr
+        src_addr_col = columns.src_addr
+        size_col = columns.size
+        base_reg_col = columns.base_reg
+        index_reg_col = columns.index_reg
+        thread_col = columns.thread_id
+        immediates = columns.immediates
+        objects = columns.objects
+        runs = columns.runs
+        append_run = runs.append
+        event_types = _EVENT_BY_WIRE_ID
+        num_types = len(event_types)
+        read_varint = _read_varint
+        start_pc = last_pc = self._last_pc
+        start_addr = last_addr = self._last_addr
+        offset = 0
+        prev_ord = -2
+        prev_flags = 0
+        run_start = 0
+        try:
+            for row in range(count):
+                byte = data[offset]
+                if byte < 0x80:
+                    tag = byte
+                    offset += 1
+                else:
+                    tag, offset = read_varint(data, offset)
+                wire_id = tag >> 1
+                if wire_id >= num_types:
+                    raise TraceCodecError(f"unknown event wire id {wire_id}")
+                byte = data[offset]
+                if byte < 0x80:
+                    flags = byte
+                    offset += 1
+                else:
+                    flags, offset = read_varint(data, offset)
+                if tag & 1:
+                    # ---- annotation record: materialise as an object ----------
+                    if prev_ord != -1 or prev_flags:
+                        if row:
+                            append_run((run_start, row, prev_ord, prev_flags))
+                        run_start = row
+                        prev_ord = -1
+                        prev_flags = 0
+                    address = payload = None
+                    size = thread_id = pc = 0
+                    if flags & _A_ADDRESS:
+                        byte = data[offset]
+                        if byte < 0x80:
+                            offset += 1
+                        else:
+                            byte, offset = read_varint(data, offset)
+                        address = last_addr + (
+                            (byte >> 1) if not byte & 1 else -((byte + 1) >> 1)
+                        )
+                        last_addr = address
+                    if flags & _A_SIZE:
+                        byte = data[offset]
+                        if byte < 0x80:
+                            size = byte
+                            offset += 1
+                        else:
+                            size, offset = read_varint(data, offset)
+                    if flags & _A_THREAD:
+                        byte = data[offset]
+                        if byte < 0x80:
+                            thread_id = byte
+                            offset += 1
+                        else:
+                            thread_id, offset = read_varint(data, offset)
+                    if flags & _A_PC:
+                        byte = data[offset]
+                        if byte < 0x80:
+                            offset += 1
+                        else:
+                            byte, offset = read_varint(data, offset)
+                        pc = last_pc + ((byte >> 1) if not byte & 1 else -((byte + 1) >> 1))
+                        last_pc = pc
+                    if flags & _A_PAYLOAD:
+                        byte = data[offset]
+                        if byte < 0x80:
+                            offset += 1
+                        else:
+                            byte, offset = read_varint(data, offset)
+                        payload = (byte >> 1) if not byte & 1 else -((byte + 1) >> 1)
+                    kind_col[row] = 1
+                    ordinal_col[row] = wire_id
+                    objects[row] = AnnotationRecord(
+                        event_types[wire_id], address, size, thread_id, pc, payload
+                    )
+                else:
+                    # ---- instruction record: flatten into the columns ---------
+                    if wire_id != prev_ord or flags != prev_flags:
+                        if row:
+                            append_run((run_start, row, prev_ord, prev_flags))
+                        run_start = row
+                        prev_ord = wire_id
+                        prev_flags = flags
+                    byte = data[offset]
+                    if byte < 0x80:
+                        offset += 1
+                    else:
+                        # Two-byte fast path: loop-local pc/address deltas
+                        # are overwhelmingly 1-2 byte varints.
+                        second = data[offset + 1]
+                        if second < 0x80:
+                            byte = (byte & 0x7F) | (second << 7)
+                            offset += 2
+                        else:
+                            byte, offset = read_varint(data, offset)
+                    pc = last_pc + ((byte >> 1) if not byte & 1 else -((byte + 1) >> 1))
+                    last_pc = pc
+                    ordinal_col[row] = wire_id
+                    flags_col[row] = flags
+                    pc_col[row] = pc
+                    if not flags:
+                        # No optional fields (plain control records): skip
+                        # the whole presence chain.
+                        continue
+                    if flags & _F_DEST_REG:
+                        byte = data[offset]
+                        if byte < 0x80:
+                            dest_reg_col[row] = byte
+                            offset += 1
+                        else:
+                            dest_reg_col[row], offset = read_varint(data, offset)
+                    if flags & _F_SRC_REG:
+                        byte = data[offset]
+                        if byte < 0x80:
+                            src_reg_col[row] = byte
+                            offset += 1
+                        else:
+                            src_reg_col[row], offset = read_varint(data, offset)
+                    if flags & _F_DEST_ADDR:
+                        byte = data[offset]
+                        if byte < 0x80:
+                            offset += 1
+                        else:
+                            second = data[offset + 1]
+                            if second < 0x80:
+                                byte = (byte & 0x7F) | (second << 7)
+                                offset += 2
+                            else:
+                                byte, offset = read_varint(data, offset)
+                        last_addr += (byte >> 1) if not byte & 1 else -((byte + 1) >> 1)
+                        dest_addr_col[row] = last_addr
+                    if flags & _F_SRC_ADDR:
+                        byte = data[offset]
+                        if byte < 0x80:
+                            offset += 1
+                        else:
+                            second = data[offset + 1]
+                            if second < 0x80:
+                                byte = (byte & 0x7F) | (second << 7)
+                                offset += 2
+                            else:
+                                byte, offset = read_varint(data, offset)
+                        last_addr += (byte >> 1) if not byte & 1 else -((byte + 1) >> 1)
+                        src_addr_col[row] = last_addr
+                    if flags & _F_BASE_REG:
+                        byte = data[offset]
+                        if byte < 0x80:
+                            base_reg_col[row] = byte
+                            offset += 1
+                        else:
+                            base_reg_col[row], offset = read_varint(data, offset)
+                    if flags & _F_INDEX_REG:
+                        byte = data[offset]
+                        if byte < 0x80:
+                            index_reg_col[row] = byte
+                            offset += 1
+                        else:
+                            index_reg_col[row], offset = read_varint(data, offset)
+                    if flags & _F_IMMEDIATE:
+                        byte = data[offset]
+                        if byte < 0x80:
+                            offset += 1
+                        else:
+                            byte, offset = read_varint(data, offset)
+                        immediates[row] = (byte >> 1) if not byte & 1 else -((byte + 1) >> 1)
+                    if flags & _F_SIZE:
+                        byte = data[offset]
+                        if byte < 0x80:
+                            size_col[row] = byte
+                            offset += 1
+                        else:
+                            size_col[row], offset = read_varint(data, offset)
+                    if flags & _F_THREAD:
+                        byte = data[offset]
+                        if byte < 0x80:
+                            thread_col[row] = byte
+                            offset += 1
+                        else:
+                            thread_col[row], offset = read_varint(data, offset)
+            if count:
+                append_run((run_start, count, prev_ord, prev_flags))
+        except (IndexError, TraceCodecError):
+            # Cold path: reproduce the exact error -- and the exact
+            # committed delta state -- through the object decoder, instead
+            # of tracking a per-row commit point on the hot path.
+            self._last_pc = start_pc
+            self._last_addr = start_addr
+            self.decode_many(data, count)
+            raise TraceCodecError(
+                "columnar decode failed where object decode succeeded"
+            ) from None
+        self._last_pc = last_pc
+        self._last_addr = last_addr
+        return columns, offset
+
     # ------------------------------------------------------------------ internals
 
     def _decode_instruction(
@@ -528,15 +962,38 @@ class RecordDecoder:
 
 
 def encode_records(records) -> bytes:
-    """Serialize a record sequence with a fresh encoder."""
+    """Serialize a record sequence with a fresh encoder.
+
+    Appends every record straight into one buffer (:meth:`RecordEncoder.
+    encode_into`), avoiding the per-record ``bytes`` copy of ``encode``.
+    """
     encoder = RecordEncoder()
     out = bytearray()
+    encode_into = encoder.encode_into
     for record in records:
-        out += encoder.encode(record)
+        encode_into(out, record)
     return bytes(out)
 
 
-def decode_records(data: bytes, expected_count: int = -1) -> List[Record]:
+def decode_record_columns(data: ByteSource, expected_count: int) -> RecordColumns:
+    """Decode a byte stream into :class:`RecordColumns` with a fresh decoder.
+
+    The columnar twin of :func:`decode_records`: exactly ``expected_count``
+    records must consume exactly the whole buffer, otherwise
+    :class:`TraceCodecError` is raised (chunk integrity check).  ``data``
+    may be ``bytes`` or a zero-copy ``memoryview``.
+    """
+    decoder = RecordDecoder()
+    columns, offset = decoder.decode_columns(data, expected_count)
+    if offset != len(data):
+        raise TraceCodecError(
+            f"chunk decoded {expected_count} records but left "
+            f"{len(data) - offset} trailing bytes"
+        )
+    return columns
+
+
+def decode_records(data: ByteSource, expected_count: int = -1) -> List[Record]:
     """Decode a byte stream produced by :func:`encode_records`.
 
     Args:

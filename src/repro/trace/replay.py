@@ -31,6 +31,7 @@ from typing import List, Optional, Sequence, Tuple, Type, Union
 from repro.core.accelerator import AcceleratorConfig, AcceleratorStats, EventAccelerator
 from repro.core.stats import sum_stats
 from repro.core.config import SystemConfig
+from repro.lba.columnar import ColumnarEngine
 from repro.lba.dispatch import DispatchStats, EventDispatcher
 from repro.lifeguards import ALL_LIFEGUARDS
 from repro.lifeguards.base import Lifeguard
@@ -128,12 +129,13 @@ def replay_records(
 ) -> Tuple[DispatchStats, AcceleratorStats, List[ErrorReport]]:
     """Consume a record sequence through ``lifeguard``; returns the stats.
 
-    Uses the dispatcher's batched path (``consume_batch``), which produces
-    bit-identical stats, cycles and reports to a per-record ``consume``
-    loop at a fraction of the interpreter overhead.
+    Flattens the records into columns and dispatches them through the
+    run-grouped columnar engine, which produces bit-identical stats,
+    cycles and reports to a per-record ``consume`` loop at a fraction of
+    the interpreter overhead.
     """
     accelerator, dispatcher = build_pipeline(lifeguard, config)
-    dispatcher.consume_batch(records)
+    ColumnarEngine(dispatcher).consume_records(records)
     return _finish_pipeline(lifeguard, accelerator, dispatcher)
 
 
@@ -152,12 +154,13 @@ def replay_trace(
     instance = lifeguard_cls()
     start = time.perf_counter()
     accelerator, dispatcher = build_pipeline(instance, config)
+    engine = ColumnarEngine(dispatcher)
     with TraceReader(trace_path) as reader:
         chunks = reader.num_chunks
         for index in range(chunks):
-            # One batch-decoded chunk (a list, not a per-record generator)
-            # feeds one batched dispatch call.
-            dispatcher.consume_batch(reader.read_chunk(index))
+            # One column-decoded chunk feeds one run-grouped columnar
+            # dispatch call (bit-identical to the scalar consume loop).
+            engine.consume_columns(reader.read_chunk_columns(index))
     dispatch, accel, reports = _finish_pipeline(instance, accelerator, dispatcher)
     return ReplayResult(
         lifeguard=lifeguard_cls.name,
@@ -204,10 +207,11 @@ def _replay_shard(args: Tuple[str, str, Optional[SystemConfig], Sequence[int]]) 
     trace_path, lifeguard_name, config, chunk_indices = args
     lifeguard = ALL_LIFEGUARDS[lifeguard_name]()
     accelerator, dispatcher = build_pipeline(lifeguard, config)
+    engine = ColumnarEngine(dispatcher)
     with TraceReader(trace_path) as reader:
         for index in chunk_indices:
-            # One batch-decoded chunk feeds one batched dispatch call.
-            dispatcher.consume_batch(reader.read_chunk(index))
+            # One column-decoded chunk feeds one columnar dispatch call.
+            engine.consume_columns(reader.read_chunk_columns(index))
     dispatch, accel, reports = _finish_pipeline(lifeguard, accelerator, dispatcher)
     return _ShardResult(
         records=dispatch.records_consumed,

@@ -26,7 +26,13 @@ from dataclasses import dataclass, field
 from typing import Iterator, List, Union
 
 from repro.core.events import AnnotationRecord, InstructionRecord
-from repro.trace.codec import RecordEncoder, TraceCodecError, decode_records
+from repro.trace.codec import (
+    RecordColumns,
+    RecordEncoder,
+    TraceCodecError,
+    decode_record_columns,
+    decode_records,
+)
 
 Record = Union[InstructionRecord, AnnotationRecord]
 
@@ -119,18 +125,19 @@ class TraceWriter:
         """Serialize one record into the current chunk; returns its raw bytes."""
         if self._closed:
             raise ValueError("trace writer is closed")
-        encoded = self._encoder.encode(record)
-        self._chunk += encoded
+        # Zero-copy append: the encoder writes straight into the chunk
+        # buffer instead of materialising a per-record ``bytes`` object.
+        encoded_len = self._encoder.encode_into(self._chunk, record)
         self._chunk_records += 1
         self.stats.records += 1
         if isinstance(record, AnnotationRecord):
             self.stats.annotations += 1
         else:
             self.stats.instructions += 1
-        self.stats.raw_bytes += len(encoded)
+        self.stats.raw_bytes += encoded_len
         if len(self._chunk) >= self.chunk_bytes:
             self._flush_chunk()
-        return len(encoded)
+        return encoded_len
 
     def extend(self, records) -> None:
         """Append a record sequence."""
@@ -140,8 +147,10 @@ class TraceWriter:
     def _flush_chunk(self) -> None:
         if not self._chunk_records:
             return
-        raw = bytes(self._chunk)
-        stored = zlib.compress(raw, 6) if self.compress else raw
+        # Compress (or write) straight from the chunk bytearray -- no
+        # intermediate ``bytes`` copy of the raw payload.
+        raw_len = len(self._chunk)
+        stored = zlib.compress(self._chunk, 6) if self.compress else self._chunk
         offset = self._file.tell()
         self._file.write(stored)
         self._chunks.append(
@@ -149,7 +158,7 @@ class TraceWriter:
                 index=len(self._chunks),
                 offset=offset,
                 stored_len=len(stored),
-                raw_len=len(raw),
+                raw_len=raw_len,
                 records=self._chunk_records,
             )
         )
@@ -267,8 +276,14 @@ class TraceReader:
         """Total records in the trace (from the index totals)."""
         return self.stats.records
 
-    def read_chunk(self, index: int) -> List[Record]:
-        """Decode and return all records of one chunk."""
+    def _chunk_payload(self, index: int):
+        """Read and decompress one chunk's raw codec payload.
+
+        Returns a byte source for the decoders: the decompressed buffer for
+        zlib chunks, or a zero-copy ``memoryview`` over the read buffer for
+        uncompressed chunks (no ``bytes`` slicing/copying on the decode
+        path).
+        """
         if not 0 <= index < len(self.chunks):
             raise IndexError(f"chunk {index} out of range (trace has {len(self.chunks)})")
         chunk = self.chunks[index]
@@ -282,14 +297,32 @@ class TraceReader:
             except zlib.error as exc:
                 raise TraceFormatError(f"{self.path}: chunk {index} corrupt: {exc}") from exc
         else:
-            raw = stored
+            raw = memoryview(stored)
         if len(raw) != chunk.raw_len:
             raise TraceFormatError(
                 f"{self.path}: chunk {index} raw size mismatch "
                 f"({len(raw)} != {chunk.raw_len})"
             )
+        return raw
+
+    def read_chunk(self, index: int) -> List[Record]:
+        """Decode and return all records of one chunk."""
+        raw = self._chunk_payload(index)
         try:
-            return decode_records(raw, expected_count=chunk.records)
+            return decode_records(raw, expected_count=self.chunks[index].records)
+        except TraceCodecError as exc:
+            raise TraceFormatError(f"{self.path}: chunk {index} corrupt: {exc}") from exc
+
+    def read_chunk_columns(self, index: int) -> RecordColumns:
+        """Decode one chunk straight into :class:`RecordColumns`.
+
+        The structure-of-arrays twin of :meth:`read_chunk`, feeding the
+        columnar dispatch engine without constructing one record object per
+        row.  Raises the same :class:`TraceFormatError` on corruption.
+        """
+        raw = self._chunk_payload(index)
+        try:
+            return decode_record_columns(raw, self.chunks[index].records)
         except TraceCodecError as exc:
             raise TraceFormatError(f"{self.path}: chunk {index} corrupt: {exc}") from exc
 

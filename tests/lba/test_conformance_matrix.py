@@ -1,19 +1,23 @@
 """Differential conformance matrix: every lifeguard × every workload.
 
-Three consumption paths must agree bit for bit on every cell of the
+Four consumption paths must agree bit for bit on every cell of the
 matrix:
 
 * the per-record dispatch loop (``EventDispatcher.consume``),
 * the batched dispatch loop (``EventDispatcher.consume_batch``),
+* the run-grouped columnar engine (``ColumnarEngine.consume_columns``
+  over a structure-of-arrays flattening of the record stream),
 * the multi-core platform at N=1 against the classic dual-core
   :meth:`LBASystem.run` (which drives the per-record loop through the
   full timing model).
 
 "Agree" means identical error reports, identical lifeguard cycle counts
 and identical statistics -- :class:`DispatchStats`,
-:class:`AcceleratorStats` and, for the full-system leg, the complete
-:class:`MonitoringResult` including the timing breakdown, producer
-statistics (exact log bytes) and mapper counters.
+:class:`AcceleratorStats`, and for the columnar leg additionally the
+*internal* accelerator state (IT table, Idempotent-Filter contents and
+LRU order, M-TLB CAM and counters, mapper counters); for the full-system
+leg the complete :class:`MonitoringResult` including the timing
+breakdown, producer statistics (exact log bytes) and mapper counters.
 
 The matrix spans all five lifeguards and *every* registered workload
 (the full SPEC-analogue suite plus the multithreaded Table 3 suite), so
@@ -29,9 +33,11 @@ import pytest
 
 from repro.core.config import SystemConfig
 from repro.lba.capture import LogProducer
+from repro.lba.columnar import ColumnarEngine
 from repro.lba.multicore import MultiCoreLBASystem
 from repro.lba.platform import LBASystem
 from repro.lifeguards import ALL_LIFEGUARDS
+from repro.trace.codec import RecordColumns
 from repro.trace.replay import build_pipeline
 from repro.workloads.base import get_workload, workload_names
 
@@ -73,6 +79,33 @@ def _run_batched(records, lifeguard_name):
     return lifeguard, accelerator, dispatcher, cycles
 
 
+def _run_columnar(records, lifeguard_name):
+    lifeguard = ALL_LIFEGUARDS[lifeguard_name]()
+    accelerator, dispatcher = build_pipeline(lifeguard)
+    engine = ColumnarEngine(dispatcher)
+    cycles = engine.consume_columns(RecordColumns.from_records(records))
+    lifeguard.finalize()
+    return lifeguard, accelerator, dispatcher, cycles
+
+
+def _assert_accelerator_state_equal(ref, col):
+    """Internal accelerator-stack state must match, not just the counters."""
+    if ref.it is not None:
+        assert col.it is not None
+        assert ref.it.stats == col.it.stats
+        assert [
+            (entry.state, entry.address, entry.size) for entry in ref.it._table
+        ] == [(entry.state, entry.address, entry.size) for entry in col.it._table]
+    if ref.idempotent_filter is not None:
+        assert col.idempotent_filter is not None
+        assert ref.idempotent_filter.stats == col.idempotent_filter.stats
+        assert ref.idempotent_filter._sets == col.idempotent_filter._sets
+    if ref.mtlb is not None:
+        assert col.mtlb is not None
+        assert ref.mtlb.stats == col.mtlb.stats
+        assert ref.mtlb._entries == col.mtlb._entries
+
+
 @pytest.mark.parametrize("workload", WORKLOADS)
 @pytest.mark.parametrize("lifeguard", LIFEGUARDS)
 def test_batched_dispatch_matches_per_record(record_streams, lifeguard, workload):
@@ -86,6 +119,44 @@ def test_batched_dispatch_matches_per_record(record_streams, lifeguard, workload
     assert per[3] == batched[3]                      # total lifeguard cycles
     assert per[3] == per[2].stats.lifeguard_cycles
     assert per[0].reports == batched[0].reports      # error reports
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("lifeguard", LIFEGUARDS)
+def test_columnar_dispatch_matches_per_record(record_streams, lifeguard, workload):
+    """The columnar engine is bit-identical to a ``consume`` loop on every cell.
+
+    Beyond the externally observable outcome (stats, cycles, reports) this
+    also compares the internal accelerator state -- IT table contents, the
+    Idempotent Filter's sets *including LRU order*, the M-TLB CAM and the
+    mapper counters -- so a fast path that reaches the same totals through
+    different hardware-state evolution still fails.
+    """
+    records = record_streams(workload)
+    assert records, f"workload {workload} produced no records"
+    per = _run_per_record(records, lifeguard)
+    columnar = _run_columnar(records, lifeguard)
+    assert per[2].stats == columnar[2].stats         # DispatchStats
+    assert per[1].stats == columnar[1].stats         # AcceleratorStats
+    assert per[3] == columnar[3]                     # total lifeguard cycles
+    assert columnar[3] == columnar[2].stats.lifeguard_cycles
+    assert per[0].reports == columnar[0].reports     # error reports
+    assert per[0].mapper_stats() == columnar[0].mapper_stats()
+    _assert_accelerator_state_equal(per[1], columnar[1])
+
+
+@pytest.mark.parametrize("workload", ["mcf", "pbzip2"])
+@pytest.mark.parametrize("lifeguard", LIFEGUARDS)
+def test_consume_each_matches_per_record(record_streams, lifeguard, workload):
+    """``consume_each`` returns exactly the per-record cycle sequence."""
+    records = record_streams(workload)
+    per_lifeguard = ALL_LIFEGUARDS[lifeguard]()
+    _, per_dispatcher = build_pipeline(per_lifeguard)
+    expected = [per_dispatcher.consume(record) for record in records]
+    each_lifeguard = ALL_LIFEGUARDS[lifeguard]()
+    _, each_dispatcher = build_pipeline(each_lifeguard)
+    assert each_dispatcher.consume_each(records) == expected
+    assert each_dispatcher.stats == per_dispatcher.stats
 
 
 @pytest.mark.parametrize("workload", WORKLOADS)
