@@ -144,6 +144,24 @@ class EventAccelerator:
         """
         return self._uses_propagation
 
+    def state_signature(self):
+        """Hashable snapshot of the whole acceleration stack's internal state.
+
+        Combines the IT table, the Idempotent-Filter contents (with LRU
+        order) and the M-TLB CAM (with LRU order), with ``None`` for
+        components that are disabled for the attached lifeguard.  Two
+        accelerators that consumed the same record stream through different
+        dispatch engines must compare equal here -- the differential
+        conformance matrix and the fuzzing oracle both assert it.
+        """
+        return (
+            self.it.state_signature() if self.it is not None else None,
+            self.idempotent_filter.state_signature()
+            if self.idempotent_filter is not None
+            else None,
+            self.mtlb.state_signature() if self.mtlb is not None else None,
+        )
+
     # ------------------------------------------------------------------ main entry
 
     def process(self, record: Record) -> List[DeliveredEvent]:

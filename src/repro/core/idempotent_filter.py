@@ -143,6 +143,18 @@ class IdempotentFilter:
         stats.insertions += insertions
         return misses
 
+    def state_signature(self) -> Tuple[Tuple[int, Tuple[Hashable, ...]], ...]:
+        """Hashable snapshot of the filter contents *including LRU order*.
+
+        One ``(set_index, resident_keys_in_LRU_order)`` pair per non-empty
+        set, in set-index order.  Differential tests use this to prove fast
+        paths evolve the filter state identically (same residents, same
+        eviction order), not merely that they filter the same events.
+        """
+        return tuple(
+            (index, tuple(self._sets[index])) for index in sorted(self._sets)
+        )
+
     def contains(self, key: Hashable) -> bool:
         """True if ``key`` is currently cached (no side effects)."""
         index = self._set_index(key)

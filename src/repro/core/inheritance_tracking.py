@@ -139,6 +139,19 @@ class InheritanceTracker:
         """Current IT state of register ``reg``."""
         return self._table[reg].state
 
+    def state_signature(self) -> Tuple[Tuple[str, Optional[int], int], ...]:
+        """Hashable snapshot of the IT table contents.
+
+        One ``(state_name, address, size)`` triple per register entry, in
+        register order.  Two trackers that evolved through the same
+        transition sequence produce equal signatures; differential tests use
+        this to prove fast paths preserve the *internal* hardware state, not
+        just the delivered events.
+        """
+        return tuple(
+            (entry.state.name, entry.address, entry.size) for entry in self._table
+        )
+
     @property
     def has_addr_state(self) -> bool:
         """True if any register is currently in the ``addr`` state.

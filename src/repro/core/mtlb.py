@@ -221,6 +221,16 @@ class MetadataTLB:
         """Number of valid CAM entries."""
         return len(self._entries)
 
+    def state_signature(self) -> Tuple[Tuple[int, int], ...]:
+        """Hashable snapshot of the CAM contents in LRU order.
+
+        One ``(level1_index, chunk_start)`` pair per resident entry, oldest
+        first.  Differential tests use this to prove fast paths leave the
+        CAM in exactly the state the scalar path would (same residents,
+        same replacement order).
+        """
+        return tuple(self._entries.items())
+
     def _require_config(self) -> LMAConfig:
         if self.lma_config_register is None:
             raise RuntimeError("lma_config must be executed before lma/lma_fill")

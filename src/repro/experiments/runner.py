@@ -233,9 +233,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="record-to-lifeguard-core routing policy for --cores")
     parser.add_argument("--core-sweep", action="store_true",
                         help="run a core-count scaling sweep up to --cores and exit")
+    parser.add_argument("--fuzz", metavar="A:B", default=None,
+                        help="run the differential-fuzzing oracle on a seed range "
+                             "(delegates to `python -m repro.fuzz --seeds A:B`) and "
+                             "exit; a sanity gate before long experiment runs")
     args = parser.parse_args(argv)
     if args.cores < 1:
         parser.error("--cores must be >= 1")
+    if args.fuzz is not None:
+        from repro.fuzz.cli import main as fuzz_main
+
+        return fuzz_main(["--seeds", args.fuzz, "-q"])
 
     start = time.time()
     if args.capture_traces:

@@ -1,0 +1,422 @@
+"""Differential oracle: one fuzzed program, every dispatch engine.
+
+For a fuzz case the oracle captures the log-record stream once, then runs
+it through every consumption path of the platform and asserts agreement:
+
+* **record legs** (no cache hierarchy, directly comparable bit for bit):
+  the per-record ``consume`` loop (the reference), ``consume_batch``,
+  ``consume_each`` (whose per-record cycle list must equal the reference's),
+  the run-grouped :class:`~repro.lba.columnar.ColumnarEngine`, and offline
+  replay of a trace-file round-trip (codec encode -> chunked file ->
+  column decode -> columnar dispatch).  Equality covers error reports,
+  :class:`DispatchStats`, :class:`AcceleratorStats`, total and per-record
+  lifeguard cycles, mapper counters and -- for the in-process legs -- the
+  *internal* accelerator state via
+  :meth:`EventAccelerator.state_signature` (IT table, Idempotent-Filter
+  sets with LRU order, M-TLB CAM with LRU order);
+* **full-system legs**: the live dual-core :class:`LBASystem` run (whose
+  reports, event counts and mapper counters must match the reference;
+  cycle totals legitimately differ because the live run models the shared
+  cache hierarchy), the multi-core platform at N=1 (bit-identical to the
+  live run, the anchor the conformance matrix enforces), and sharded
+  multi-core runs at N>1 (clean seeds must stay silent; shard-exact bug
+  classes must still be detected);
+* **ground truth**: the spec's :class:`BugManifest` -- every detector
+  lifeguard must report one of the expected kinds, and a clean seed must
+  produce zero reports from *every* lifeguard on *every* leg.
+
+Any violation raises :class:`FuzzFailure` carrying enough context to
+reproduce (seed, leg, lifeguard, message); the CLI turns that into a
+replayable repro file.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import SystemConfig
+from repro.lba.columnar import ColumnarEngine
+from repro.lba.platform import LBASystem, MonitoringResult
+from repro.lba.multicore import MultiCoreLBASystem
+from repro.lifeguards import ALL_LIFEGUARDS
+from repro.trace.codec import RecordColumns
+from repro.trace.replay import build_pipeline, replay_trace
+from repro.trace.tracefile import TraceWriter
+from repro.isa.threads import ThreadedMachine
+from repro.workloads.generator import (
+    BugManifest,
+    FuzzConfig,
+    FuzzProgramSpec,
+    build_fuzz_programs,
+    generate_spec,
+    manifest_for,
+)
+
+#: Engine legs the oracle knows, in execution order.
+DEFAULT_ENGINES = (
+    "consume",
+    "consume_batch",
+    "consume_each",
+    "columnar",
+    "trace_replay",
+    "live",
+    "multicore",
+)
+
+#: Core counts for the multi-core leg (1 anchors bit-identity to the live
+#: run; 2 and 4 exercise address-sharded monitoring).
+DEFAULT_CORES = (1, 2, 4)
+
+#: Lifeguards whose entire detection state is per-address (heap-block
+#: tables, accessibility bits, per-word lockset records, with the
+#: establishing annotations broadcast to every shard).  Address sharding
+#: keeps that state exact, so *these* lifeguards must stay silent on clean
+#: seeds at any core count.  Register-inheritance lifeguards (MemCheck,
+#: TaintCheck*) are per-shard approximations under N>1 -- a stale IT flush
+#: on the thread-routed shard can mark a register uninitialised/tainted
+#: from metadata another shard owns -- so the oracle does not assert their
+#: silence there (see the sharding note in :mod:`repro.lba.multicore`).
+_SHARD_EXACT_LIFEGUARDS = frozenset({"AddrCheck", "LockSet"})
+
+#: DispatchStats fields that do not depend on the cache hierarchy; the
+#: live leg must match the reference on exactly these.
+_HIERARCHY_FREE_DISPATCH_FIELDS = (
+    "records_consumed",
+    "events_handled",
+    "handler_instructions",
+    "mapping_instructions",
+    "miss_handler_instructions",
+)
+
+
+class FuzzFailure(AssertionError):
+    """One engine pairing diverged (or ground truth was violated)."""
+
+    def __init__(self, seed: int, leg: str, lifeguard: str, message: str) -> None:
+        self.seed = seed
+        self.leg = leg
+        self.lifeguard = lifeguard
+        super().__init__(f"seed {seed} [{leg}/{lifeguard}]: {message}")
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """A spec plus its ground-truth manifest (the unit the oracle checks)."""
+
+    spec: FuzzProgramSpec
+    manifest: BugManifest
+
+    @classmethod
+    def from_seed(cls, seed: int, config: Optional[FuzzConfig] = None) -> "FuzzCase":
+        spec = generate_spec(seed, config)
+        return cls(spec=spec, manifest=manifest_for(spec))
+
+    @classmethod
+    def from_spec(cls, spec: FuzzProgramSpec) -> "FuzzCase":
+        return cls(spec=spec, manifest=manifest_for(spec))
+
+    @property
+    def seed(self) -> int:
+        return self.spec.seed
+
+
+@dataclass
+class CaseResult:
+    """What one oracle pass observed (it returns only if everything agreed)."""
+
+    seed: int
+    bug: str
+    records: int
+    lifeguards: List[str]
+    engines: List[str]
+    reports_by_lifeguard: Dict[str, int] = field(default_factory=dict)
+    detected_by: List[str] = field(default_factory=list)
+
+
+@dataclass
+class _RecordLegOutcome:
+    """Everything a record-stream leg measured (for exact comparison)."""
+
+    cycles: int
+    per_record: Optional[List[int]]
+    dispatch: object
+    accelerator: object
+    mapper: object
+    state: object
+    reports: List
+
+
+def _capture_records(spec: FuzzProgramSpec):
+    """Run the fuzzed program once and return its full log-record stream."""
+    return ThreadedMachine(build_fuzz_programs(spec)).trace()
+
+
+def _machine(spec: FuzzProgramSpec) -> ThreadedMachine:
+    return ThreadedMachine(build_fuzz_programs(spec))
+
+
+def _finish(lifeguard, accelerator, dispatcher, cycles, per_record=None) -> _RecordLegOutcome:
+    lifeguard.finalize()
+    return _RecordLegOutcome(
+        cycles=cycles,
+        per_record=per_record,
+        dispatch=dispatcher.stats,
+        accelerator=accelerator.stats,
+        mapper=lifeguard.mapper_stats(),
+        state=accelerator.state_signature(),
+        reports=list(lifeguard.reports),
+    )
+
+
+def _run_consume(records, lifeguard_cls) -> _RecordLegOutcome:
+    lifeguard = lifeguard_cls()
+    accelerator, dispatcher = build_pipeline(lifeguard)
+    per_record = [dispatcher.consume(record) for record in records]
+    return _finish(lifeguard, accelerator, dispatcher, sum(per_record), per_record)
+
+
+def _run_consume_batch(records, lifeguard_cls) -> _RecordLegOutcome:
+    lifeguard = lifeguard_cls()
+    accelerator, dispatcher = build_pipeline(lifeguard)
+    cycles = dispatcher.consume_batch(records)
+    return _finish(lifeguard, accelerator, dispatcher, cycles)
+
+
+def _run_consume_each(records, lifeguard_cls) -> _RecordLegOutcome:
+    lifeguard = lifeguard_cls()
+    accelerator, dispatcher = build_pipeline(lifeguard)
+    per_record = dispatcher.consume_each(records)
+    return _finish(lifeguard, accelerator, dispatcher, sum(per_record), per_record)
+
+
+def _run_columnar(records, lifeguard_cls) -> _RecordLegOutcome:
+    lifeguard = lifeguard_cls()
+    accelerator, dispatcher = build_pipeline(lifeguard)
+    cycles = ColumnarEngine(dispatcher).consume_columns(RecordColumns.from_records(records))
+    return _finish(lifeguard, accelerator, dispatcher, cycles)
+
+
+_RECORD_LEGS = {
+    "consume_batch": _run_consume_batch,
+    "consume_each": _run_consume_each,
+    "columnar": _run_columnar,
+}
+
+
+def _expect(condition: bool, seed: int, leg: str, lifeguard: str, message: str) -> None:
+    if not condition:
+        raise FuzzFailure(seed, leg, lifeguard, message)
+
+
+def _compare_record_leg(seed: int, leg: str, name: str,
+                        reference: _RecordLegOutcome, other: _RecordLegOutcome) -> None:
+    _expect(other.reports == reference.reports, seed, leg, name,
+            f"reports diverge: {len(other.reports)} vs {len(reference.reports)} "
+            f"({other.reports[:2]} vs {reference.reports[:2]})")
+    _expect(other.dispatch == reference.dispatch, seed, leg, name,
+            f"DispatchStats diverge: {other.dispatch} vs {reference.dispatch}")
+    _expect(other.accelerator == reference.accelerator, seed, leg, name,
+            f"AcceleratorStats diverge: {other.accelerator} vs {reference.accelerator}")
+    _expect(other.cycles == reference.cycles, seed, leg, name,
+            f"total cycles diverge: {other.cycles} vs {reference.cycles}")
+    if other.per_record is not None and reference.per_record is not None:
+        _expect(other.per_record == reference.per_record, seed, leg, name,
+                "per-record cycle sequences diverge")
+    _expect(other.mapper == reference.mapper, seed, leg, name,
+            f"MapperStats diverge: {other.mapper} vs {reference.mapper}")
+    _expect(other.state == reference.state, seed, leg, name,
+            "internal accelerator state (IT/IF/M-TLB) diverges")
+
+
+def _check_detection(seed: int, leg: str, name: str, manifest: BugManifest,
+                     reports: Sequence) -> None:
+    """Assert manifest ground truth against one leg's reports."""
+    if manifest.is_clean:
+        _expect(not reports, seed, leg, name,
+                f"clean seed produced {len(reports)} report(s): "
+                f"{[str(r) for r in reports[:3]]}")
+    elif name in manifest.detectors:
+        _expect(
+            any(report.kind.value in manifest.kinds for report in reports),
+            seed, leg, name,
+            f"injected {manifest.bug} not detected "
+            f"(expected one of {manifest.kinds}, got "
+            f"{sorted({r.kind.value for r in reports})})",
+        )
+
+
+def run_case(
+    case: FuzzCase,
+    engines: Sequence[str] = DEFAULT_ENGINES,
+    lifeguards: Optional[Sequence[str]] = None,
+    cores: Sequence[int] = DEFAULT_CORES,
+    workdir: Optional[str] = None,
+    verify_determinism: bool = False,
+) -> CaseResult:
+    """Run one fuzz case through the engine matrix; raise on any divergence.
+
+    Args:
+        case: the spec + manifest to check.
+        engines: subset of :data:`DEFAULT_ENGINES` to run.  ``consume`` is
+            always run (it is the reference every other leg compares to).
+        lifeguards: lifeguard names (default: all five).
+        cores: core counts for the ``multicore`` leg.
+        workdir: directory for the trace-replay leg's temporary trace files
+            (a throwaway temporary directory by default).
+        verify_determinism: run every sharded (N>1) multi-core configuration
+            twice and require bit-identical merged results (the nightly
+            block enables this; it doubles the multi-core cost).
+    """
+    unknown = set(engines) - set(DEFAULT_ENGINES)
+    if unknown:
+        raise ValueError(f"unknown engines {sorted(unknown)}; known: {DEFAULT_ENGINES}")
+    names = sorted(lifeguards if lifeguards is not None else ALL_LIFEGUARDS)
+    for name in names:
+        if name not in ALL_LIFEGUARDS:
+            raise KeyError(f"unknown lifeguard {name!r}; known: {sorted(ALL_LIFEGUARDS)}")
+    seed = case.seed
+    manifest = case.manifest
+    records = _capture_records(case.spec)
+    result = CaseResult(
+        seed=seed,
+        bug=manifest.bug,
+        records=len(records),
+        lifeguards=list(names),
+        engines=[engine for engine in DEFAULT_ENGINES if engine in engines],
+    )
+
+    trace_path = None
+    tempdir = None
+    if "trace_replay" in engines:
+        if workdir is None:
+            tempdir = tempfile.TemporaryDirectory(prefix="repro-fuzz-")
+            workdir = tempdir.name
+        trace_path = os.path.join(workdir, f"fuzz_{seed}.trace")
+        with TraceWriter(trace_path) as writer:
+            for record in records:
+                writer.append(record)
+
+    try:
+        for name in names:
+            lifeguard_cls = ALL_LIFEGUARDS[name]
+            reference = _run_consume(records, lifeguard_cls)
+            result.reports_by_lifeguard[name] = len(reference.reports)
+            _expect(reference.cycles == reference.dispatch.lifeguard_cycles,
+                    seed, "consume", name,
+                    "returned cycles disagree with DispatchStats.lifeguard_cycles")
+            _check_detection(seed, "consume", name, manifest, reference.reports)
+            if not manifest.is_clean and name in manifest.detectors:
+                result.detected_by.append(name)
+
+            for leg, runner in _RECORD_LEGS.items():
+                if leg not in engines:
+                    continue
+                _compare_record_leg(seed, leg, name, reference, runner(records, lifeguard_cls))
+
+            if trace_path is not None:
+                replay = replay_trace(trace_path, lifeguard_cls)
+                _expect(replay.reports == reference.reports, seed, "trace_replay", name,
+                        "replayed reports diverge from the live record stream's")
+                _expect(replay.dispatch == reference.dispatch, seed, "trace_replay", name,
+                        f"DispatchStats diverge: {replay.dispatch} vs {reference.dispatch}")
+                _expect(replay.accelerator == reference.accelerator, seed, "trace_replay", name,
+                        "AcceleratorStats diverge across the codec round-trip")
+                _expect(replay.records == len(records), seed, "trace_replay", name,
+                        f"record count diverges: {replay.records} vs {len(records)}")
+
+            live: Optional[MonitoringResult] = None
+            if "live" in engines:
+                live = LBASystem(
+                    _machine(case.spec),
+                    lifeguard_cls(),
+                    SystemConfig(),
+                    workload_name=f"fuzz_{seed}",
+                ).run()
+                _expect(live.reports == reference.reports, seed, "live", name,
+                        "live full-system reports diverge from the record legs'")
+                for field_name in _HIERARCHY_FREE_DISPATCH_FIELDS:
+                    _expect(
+                        getattr(live.dispatch, field_name) == getattr(reference.dispatch, field_name),
+                        seed, "live", name,
+                        f"DispatchStats.{field_name} diverges: "
+                        f"{getattr(live.dispatch, field_name)} vs "
+                        f"{getattr(reference.dispatch, field_name)}",
+                    )
+                _expect(live.accelerator == reference.accelerator, seed, "live", name,
+                        "live AcceleratorStats diverge")
+                _expect(live.mapper == reference.mapper, seed, "live", name,
+                        "live MapperStats diverge")
+                _expect(live.producer.records == len(records), seed, "live", name,
+                        f"live producer saw {live.producer.records} records, "
+                        f"captured stream has {len(records)}")
+
+            if "multicore" in engines:
+                for num_cores in cores:
+                    multicore = MultiCoreLBASystem(
+                        _machine(case.spec),
+                        lifeguard_cls,
+                        SystemConfig(),
+                        num_cores=num_cores,
+                        workload_name=f"fuzz_{seed}",
+                    ).run()
+                    leg = f"multicore[{num_cores}]"
+                    _expect(multicore.stats.records == len(records), seed, leg, name,
+                            f"routed {multicore.stats.records} records, "
+                            f"stream has {len(records)}")
+                    if num_cores == 1:
+                        if live is not None:
+                            _expect(multicore.merged == live, seed, leg, name,
+                                    "N=1 multi-core result is not bit-identical "
+                                    "to the dual-core LBASystem run")
+                        else:
+                            _expect(multicore.reports == reference.reports, seed, leg, name,
+                                    "N=1 multi-core reports diverge")
+                        _check_detection(seed, leg, name, manifest, multicore.reports)
+                    elif manifest.is_clean:
+                        if name in _SHARD_EXACT_LIFEGUARDS:
+                            _expect(not multicore.reports, seed, leg, name,
+                                    f"clean seed produced {len(multicore.reports)} "
+                                    f"sharded report(s)")
+                    elif manifest.shard_exact and name in manifest.detectors:
+                        _expect(
+                            any(r.kind.value in manifest.kinds for r in multicore.reports),
+                            seed, leg, name,
+                            f"shard-exact bug {manifest.bug} missed under "
+                            f"{num_cores}-way address sharding",
+                        )
+                    if verify_determinism and num_cores > 1:
+                        again = MultiCoreLBASystem(
+                            _machine(case.spec),
+                            lifeguard_cls,
+                            SystemConfig(),
+                            num_cores=num_cores,
+                            workload_name=f"fuzz_{seed}",
+                        ).run()
+                        _expect(again.merged == multicore.merged, seed, leg, name,
+                                "sharded run is not deterministic "
+                                "(two identical runs diverged)")
+    finally:
+        if tempdir is not None:
+            tempdir.cleanup()
+    return result
+
+
+def run_seed(
+    seed: int,
+    engines: Sequence[str] = DEFAULT_ENGINES,
+    lifeguards: Optional[Sequence[str]] = None,
+    cores: Sequence[int] = DEFAULT_CORES,
+    config: Optional[FuzzConfig] = None,
+    verify_determinism: bool = False,
+) -> CaseResult:
+    """Convenience: build the case for ``seed`` and run the oracle."""
+    return run_case(
+        FuzzCase.from_seed(seed, config),
+        engines=engines,
+        lifeguards=lifeguards,
+        cores=cores,
+        verify_determinism=verify_determinism,
+    )

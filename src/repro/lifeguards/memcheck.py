@@ -427,6 +427,10 @@ class MemCheck(Lifeguard):
             (mapper if mapper is not None else self.mapper()).translate(src_addr)
             src_element = shadow.read_element(src_addr)
             init_mask = self._span_initialized_masks[per_element]
+            if not self._tracked_for_init(src_addr):
+                # Untracked source (static data/code): considered initialised
+                # by the loader, matching ``_range_uninitialized``.
+                src_element = init_mask
             shadow.write_element(
                 dest_addr,
                 (shadow.read_element(dest_addr) & ~init_mask)
@@ -439,7 +443,7 @@ class MemCheck(Lifeguard):
             if not self._tracked_for_init(dest_byte):
                 continue
             current = self.shadow.read_bits(dest_byte, 2)
-            if src_bits & _INITIALIZED_BIT:
+            if src_bits & _INITIALIZED_BIT or not self._tracked_for_init(src_addr + offset):
                 current |= _INITIALIZED_BIT
             else:
                 current &= ~_INITIALIZED_BIT

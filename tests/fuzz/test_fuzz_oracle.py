@@ -1,0 +1,91 @@
+"""Tier-1 differential-fuzzing block plus oracle mutation smoke tests.
+
+Every seed of the tier-1 block runs the full engine matrix: per-record
+``consume`` (reference), ``consume_batch``, ``consume_each``, the columnar
+engine, a trace-file round-trip replay, the live dual-core platform, and
+the multi-core platform at N in {1, 2, 4} -- asserting bit-identical
+reports/stats/cycles (and internal IT/IF/M-TLB state for the in-process
+record legs), manifest-driven bug detection, and clean-seed silence.
+
+The mutation tests prove the oracle has teeth: a deliberately broken
+dispatch path must be *caught* as a :class:`FuzzFailure`, not slip
+through.  If one of those starts passing without raising, the oracle has
+gone blind -- treat it as a release blocker.
+"""
+
+import pytest
+
+from repro.core.events import EventType
+from repro.fuzz import FuzzFailure, run_seed
+from repro.lba.dispatch import EventDispatcher
+from repro.lifeguards.memcheck import MemCheck
+
+#: The tier-1 seed block (CI runs the same range through the CLI).
+TIER1_SEEDS = range(25)
+
+
+@pytest.mark.parametrize("seed", TIER1_SEEDS)
+def test_tier1_seed_block(seed):
+    """Every engine pairing agrees and ground truth holds for this seed."""
+    result = run_seed(seed)
+    assert result.records > 0
+    if result.bug:
+        assert result.detected_by, f"bug seed {seed} detected by nobody"
+    else:
+        assert all(count == 0 for count in result.reports_by_lifeguard.values())
+
+
+class TestOracleCatchesMutations:
+    """Deliberately broken handlers must fail the oracle, not pass it."""
+
+    def test_broken_columnar_span_handler_is_caught(self, monkeypatch):
+        """A span fast path that skips the access check diverges columnar
+        dispatch from the scalar reference and must be flagged."""
+        original = MemCheck.columnar_handlers
+
+        def broken(self):
+            handlers = dict(original(self))
+            handlers[EventType.MEM_LOAD] = (lambda address, size, pc, thread_id: None, False)
+            return handlers
+
+        monkeypatch.setattr(MemCheck, "columnar_handlers", broken)
+        with pytest.raises(FuzzFailure) as excinfo:
+            run_seed(3, engines=("consume", "columnar"), lifeguards=["MemCheck"])
+        assert excinfo.value.leg == "columnar"
+        assert excinfo.value.lifeguard == "MemCheck"
+
+    def test_record_dropping_batch_dispatch_is_caught(self, monkeypatch):
+        original = EventDispatcher.consume_batch
+
+        def dropping(self, records):
+            materialized = list(records)
+            return original(self, materialized[:-1])  # silently drop one record
+
+        monkeypatch.setattr(EventDispatcher, "consume_batch", dropping)
+        with pytest.raises(FuzzFailure) as excinfo:
+            run_seed(0, engines=("consume", "consume_batch"), lifeguards=["MemCheck"])
+        assert excinfo.value.leg == "consume_batch"
+
+    def test_miscounted_cycles_are_caught(self, monkeypatch):
+        original = EventDispatcher.consume_each
+
+        def inflated(self, records):
+            per_record = original(self, records)
+            if per_record:
+                per_record[-1] += 1  # off-by-one in the last record's cycles
+            return per_record
+
+        monkeypatch.setattr(EventDispatcher, "consume_each", inflated)
+        with pytest.raises(FuzzFailure) as excinfo:
+            run_seed(0, engines=("consume", "consume_each"), lifeguards=["AddrCheck"])
+        assert excinfo.value.leg == "consume_each"
+
+
+class TestOracleInputValidation:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            run_seed(0, engines=("consume", "warp_drive"))
+
+    def test_unknown_lifeguard_rejected(self):
+        with pytest.raises(KeyError):
+            run_seed(0, lifeguards=["NotALifeguard"])

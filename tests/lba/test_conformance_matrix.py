@@ -89,21 +89,20 @@ def _run_columnar(records, lifeguard_name):
 
 
 def _assert_accelerator_state_equal(ref, col):
-    """Internal accelerator-stack state must match, not just the counters."""
+    """Internal accelerator-stack state must match, not just the counters.
+
+    ``state_signature()`` snapshots the IT table, the Idempotent-Filter
+    sets *including LRU order* and the M-TLB CAM *including LRU order*
+    (with ``None`` for disabled components, which also pins down that both
+    pipelines enabled the same techniques).
+    """
+    assert ref.state_signature() == col.state_signature()
     if ref.it is not None:
-        assert col.it is not None
         assert ref.it.stats == col.it.stats
-        assert [
-            (entry.state, entry.address, entry.size) for entry in ref.it._table
-        ] == [(entry.state, entry.address, entry.size) for entry in col.it._table]
     if ref.idempotent_filter is not None:
-        assert col.idempotent_filter is not None
         assert ref.idempotent_filter.stats == col.idempotent_filter.stats
-        assert ref.idempotent_filter._sets == col.idempotent_filter._sets
     if ref.mtlb is not None:
-        assert col.mtlb is not None
         assert ref.mtlb.stats == col.mtlb.stats
-        assert ref.mtlb._entries == col.mtlb._entries
 
 
 @pytest.mark.parametrize("workload", WORKLOADS)
