@@ -59,6 +59,7 @@ from repro.trace.codec import (
     decode_records,
     encode_records,
 )
+from repro.obs import observed, snapshot_document
 from repro.trace.replay import MultiTraceReplay, ParallelReplay, build_pipeline, replay_trace
 from repro.trace.tracefile import TraceReader, TraceWriter
 
@@ -278,6 +279,24 @@ def run(smoke=False, scale=1.0, quick=False):
             bench_replay(trace_path, len(records), ("TaintCheck", "MemCheck"), repeats)
         )
 
+        # One extra, untimed replay pass with telemetry on: the timed
+        # stages above keep the historical zero-overhead numbers, while
+        # this pass produces the metrics/trace sidecars that explain
+        # them (written next to the BENCH JSON by main()).
+        with observed() as obs:
+            replay_trace(trace_path, "MemCheck")
+            replay_trace(trace_path, "TaintCheck")
+            metrics_snapshot = snapshot_document(
+                obs.registry,
+                meta={
+                    "tool": "benchmarks/run_benchmarks.py",
+                    "benchmark": "hotpath",
+                    "workload": workload,
+                    "lifeguards": ["MemCheck", "TaintCheck"],
+                },
+            )
+            trace_snapshot = obs.tracer.to_chrome_trace()
+
     # Speedups are only meaningful for the workload the baseline used.
     speedup = {}
     if not smoke:
@@ -297,11 +316,42 @@ def run(smoke=False, scale=1.0, quick=False):
         "speedup_vs_pre_pr_baseline": speedup,
         "python": platform.python_version(),
         "machine": platform.machine(),
+        # Sidecar payloads: popped by main() and written to
+        # <output>.metrics.json / <output>.trace.json, never into the
+        # BENCH file itself.
+        "metrics_snapshot": metrics_snapshot,
+        "trace_snapshot": trace_snapshot,
     }
 
 
 #: Core/worker counts of every multi-core scaling curve.
 SCALING_POINTS = (1, 2, 4)
+
+
+def _worker_breakdown(result):
+    """Per-worker time split (serialize/IPC/decode/dispatch) for a curve point.
+
+    This is the attribution data for the inverse-scaling regression: when
+    adding workers makes records/s *drop*, the breakdown shows whether the
+    time went to dispatch (real work), serialize+IPC (result shipping), or
+    setup (per-worker pipeline construction).
+    """
+    breakdown = []
+    for timing in result.worker_timings:
+        breakdown.append(
+            {
+                "pid": timing.get("pid"),
+                "chunks": timing.get("chunks"),
+                "records": timing.get("records"),
+                "setup_s": round(timing.get("setup_s", 0.0), 4),
+                "decode_s": round(timing.get("decode_s", 0.0), 4),
+                "dispatch_s": round(timing.get("dispatch_s", 0.0), 4),
+                "serialize_s": round(timing.get("serialize_s", 0.0), 4),
+                "ipc_s": round(timing.get("ipc_s", 0.0), 4),
+                "worker_wall_s": round(timing.get("worker_wall_s", 0.0), 4),
+            }
+        )
+    return breakdown
 
 
 def run_multicore(smoke=False, scale=1.0):
@@ -322,13 +372,15 @@ def run_multicore(smoke=False, scale=1.0):
                                     chunk_bytes=16 * 1024).records
         replay_curve = []
         for workers in SCALING_POINTS:
-            replay = ParallelReplay(trace_path, "MemCheck", workers=workers)
+            replay = ParallelReplay(trace_path, "MemCheck", workers=workers,
+                                    collect_timing=True)
             result = replay.run()
             replay_curve.append(
                 {
                     "workers": workers,
                     "records_per_second": round(result.records_per_second),
                     "wall_seconds": round(result.wall_seconds, 4),
+                    "worker_breakdown": _worker_breakdown(result),
                 }
             )
         curves["replay_scaling"] = {
@@ -346,12 +398,14 @@ def run_multicore(smoke=False, scale=1.0):
         paths = multicore_trace_paths(tmp, "pbzip2", cores)
         multi_curve = []
         for workers in SCALING_POINTS:
-            result = MultiTraceReplay(paths, "LockSet", workers=workers).run()
+            result = MultiTraceReplay(paths, "LockSet", workers=workers,
+                                      collect_timing=True).run()
             multi_curve.append(
                 {
                     "workers": workers,
                     "records_per_second": round(result.records_per_second),
                     "wall_seconds": round(result.wall_seconds, 4),
+                    "worker_breakdown": _worker_breakdown(result),
                 }
             )
         curves["per_core_trace_replay"] = {
@@ -391,16 +445,29 @@ def run_multicore(smoke=False, scale=1.0):
     }
 
 
+def _breakdown_note(point):
+    """Summed serialize/IPC/dispatch attribution for one curve point."""
+    breakdown = point.get("worker_breakdown")
+    if not breakdown:
+        return ""
+    dispatch = sum(w["dispatch_s"] for w in breakdown)
+    ship = sum(w["serialize_s"] + w["ipc_s"] for w in breakdown)
+    setup = sum(w["setup_s"] for w in breakdown)
+    return f"   (dispatch {dispatch:.2f}s, serialize+ipc {ship:.2f}s, setup {setup:.2f}s)"
+
+
 def _print_multicore(results):
     replay = results["replay_scaling"]
     print(f"  replay scaling ({replay['workload']}, {replay['lifeguard']}):")
     for point in replay["curve"]:
-        print(f"    {point['workers']} workers  {point['records_per_second']:>12,} records/s")
+        print(f"    {point['workers']} workers  {point['records_per_second']:>12,} records/s"
+              f"{_breakdown_note(point)}")
     per_core = results["per_core_trace_replay"]
     print(f"  per-core trace replay ({per_core['workload']}, {per_core['cores']} cores, "
           f"{per_core['lifeguard']}):")
     for point in per_core["curve"]:
-        print(f"    {point['workers']} workers  {point['records_per_second']:>12,} records/s")
+        print(f"    {point['workers']} workers  {point['records_per_second']:>12,} records/s"
+              f"{_breakdown_note(point)}")
     for entry in results["live_scaling"].values():
         print(f"  live platform ({entry['workload']}, {entry['lifeguard']}):")
         for row in entry["curve"]:
@@ -503,11 +570,29 @@ def main(argv=None):
         results = run_multicore(smoke=args.smoke, scale=args.scale)
     else:
         results = run(smoke=args.smoke, scale=args.scale, quick=args.quick)
+
+    # Telemetry sidecars ride next to the BENCH file, not inside it: the
+    # BENCH JSON stays a small tracked trajectory while the sidecars hold
+    # the full counter snapshot and Perfetto-loadable span trace that
+    # explain its numbers (compare runs with ``python -m repro.obs diff``).
+    base = output[:-len(".json")] if output.endswith(".json") else output
+    metrics_snapshot = results.pop("metrics_snapshot", None)
+    trace_snapshot = results.pop("trace_snapshot", None)
     with open(output, "w") as handle:
         json.dump(results, handle, indent=2, sort_keys=True)
         handle.write("\n")
+    if metrics_snapshot is not None:
+        with open(base + ".metrics.json", "w") as handle:
+            json.dump(metrics_snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if trace_snapshot is not None:
+        with open(base + ".trace.json", "w") as handle:
+            json.dump(trace_snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
 
     print(f"wrote {output}")
+    if metrics_snapshot is not None:
+        print(f"wrote {base}.metrics.json (+ {base}.trace.json)")
     if args.multicore:
         _print_multicore(results)
         return 0

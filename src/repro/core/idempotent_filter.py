@@ -31,6 +31,7 @@ class IFStats:
     hits: int = 0
     misses: int = 0
     insertions: int = 0
+    evictions: int = 0
     invalidations_full: int = 0
     invalidations_selective: int = 0
 
@@ -94,6 +95,7 @@ class IdempotentFilter:
         stats.misses += 1
         if len(entries) >= self._ways:
             entries.popitem(last=False)
+            stats.evictions += 1
         entries[key] = None
         stats.insertions += 1
         return False
@@ -119,6 +121,7 @@ class IdempotentFilter:
         misses: List[int] = []
         append_miss = misses.append
         insertions = 0
+        evictions = 0
         for row in rows:
             if thread_ids is None:
                 key = (cc, addresses[row], sizes[row])
@@ -133,6 +136,7 @@ class IdempotentFilter:
                 continue
             if len(entries) >= ways:
                 entries.popitem(last=False)
+                evictions += 1
             entries[key] = None
             insertions += 1
             append_miss(row)
@@ -141,6 +145,7 @@ class IdempotentFilter:
         stats.misses += insertions
         stats.hits += lookups - insertions
         stats.insertions += insertions
+        stats.evictions += evictions
         return misses
 
     def state_signature(self) -> Tuple[Tuple[int, Tuple[Hashable, ...]], ...]:

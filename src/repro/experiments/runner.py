@@ -237,6 +237,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="run the differential-fuzzing oracle on a seed range "
                              "(delegates to `python -m repro.fuzz --seeds A:B`) and "
                              "exit; a sanity gate before long experiment runs")
+    parser.add_argument("--metrics-out", metavar="FILE", default=None,
+                        help="enable pipeline telemetry and write the metrics "
+                             "snapshot (JSON) to FILE when the run finishes")
+    parser.add_argument("--trace-out", metavar="FILE", default=None,
+                        help="enable pipeline telemetry and write the stage spans "
+                             "as Chrome trace-event JSON (Perfetto-loadable) to FILE")
     args = parser.parse_args(argv)
     if args.cores < 1:
         parser.error("--cores must be >= 1")
@@ -244,6 +250,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.fuzz.cli import main as fuzz_main
 
         return fuzz_main(["--seeds", args.fuzz, "-q"])
+
+    telemetry = args.metrics_out is not None or args.trace_out is not None
+    if telemetry:
+        from repro.obs import enable
+
+        enable()
 
     start = time.time()
     if args.capture_traces:
@@ -272,6 +284,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             handle.write(report)
     else:
         sys.stdout.write(report)
+    if telemetry:
+        import json
+
+        from repro.obs import snapshot_document
+        from repro.obs.runtime import OBS
+
+        if args.metrics_out and OBS.registry is not None:
+            if OBS.recorder is not None:
+                OBS.recorder.flush_to(OBS.registry)
+            document = snapshot_document(
+                OBS.registry, meta={"tool": "repro.experiments.runner"}
+            )
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"metrics snapshot written to {args.metrics_out}", file=sys.stderr)
+        if args.trace_out and OBS.tracer is not None:
+            with open(args.trace_out, "w", encoding="utf-8") as handle:
+                json.dump(OBS.tracer.to_chrome_trace(), handle)
+                handle.write("\n")
+            print(f"chrome trace written to {args.trace_out}", file=sys.stderr)
     return 0
 
 

@@ -8,7 +8,8 @@ instruction-window bisection, and emits replayable repro files:
   -- the nightly block (failing seeds are shrunk and written to
   ``--repro-dir``);
 * ``python -m repro.fuzz --replay fuzz-repros/seed_42.json`` -- re-run a
-  stored repro deterministically;
+  stored repro deterministically (add ``--describe`` to print the stored
+  failure context and per-leg timing without running anything);
 * ``python -m repro.fuzz --seeds 0:8 --describe`` -- print the seed ->
   scenario mapping without running anything.
 """
@@ -16,10 +17,11 @@ instruction-window bisection, and emits replayable repro files:
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.fuzz.oracle import (
     DEFAULT_CORES,
@@ -95,6 +97,35 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _format_leg_seconds(leg_seconds: Optional[Dict[str, float]]) -> str:
+    if not leg_seconds:
+        return ""
+    parts = [f"{leg} {seconds:.2f}s" for leg, seconds in
+             sorted(leg_seconds.items(), key=lambda item: -item[1])]
+    return ", ".join(parts)
+
+
+def _describe_repro(path: str) -> int:
+    """Print a stored repro's context (failure, per-leg timing) and exit."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    print(f"repro {path}: seed {document.get('seed')} "
+          f"(version {document.get('version')})")
+    failure = document.get("failure")
+    if failure:
+        print(f"  failure: [{failure.get('leg')}/{failure.get('lifeguard')}] "
+              f"{failure.get('message')}")
+    else:
+        print("  failure: none recorded")
+    timing = _format_leg_seconds(document.get("leg_seconds"))
+    if timing:
+        print(f"  leg wall time: {timing}")
+    note = document.get("note")
+    if note:
+        print(f"  note: {note}")
+    return 0
+
+
 def _describe(seeds: Sequence[int]) -> None:
     for seed in seeds:
         config = profile_for_seed(seed)
@@ -110,16 +141,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.replay is not None:
+        if args.describe:
+            return _describe_repro(args.replay)
         try:
             result = replay_repro(args.replay, engines=args.engines,
                                   lifeguards=args.lifeguards, cores=args.cores,
                                   verify_determinism=args.verify_determinism)
         except FuzzFailure as failure:
             print(f"REPLAY FAIL {args.replay}: {failure}")
+            timing = _format_leg_seconds(failure.leg_seconds)
+            if timing:
+                print(f"  leg wall time: {timing}")
             return 1
         print(f"REPLAY OK {args.replay}: seed {result.seed} "
               f"({result.bug or 'clean'}), {result.records} records, "
               f"engines {', '.join(result.engines)}")
+        timing = _format_leg_seconds(result.leg_seconds)
+        if timing:
+            print(f"  leg wall time: {timing}")
         return 0
 
     seeds = args.seeds if args.seeds is not None else list(range(25))
@@ -128,6 +167,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     failures: List[FuzzFailure] = []
+    leg_totals: Dict[str, float] = {}
     started = time.perf_counter()
     checked = 0
     for seed in seeds:
@@ -147,6 +187,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 failure = FuzzFailure(
                     seed, "crash", "-",
                     f"{type(error).__name__}: {error}")
+            for leg, seconds in (failure.leg_seconds or {}).items():
+                leg_totals[leg] = leg_totals.get(leg, 0.0) + seconds
             failures.append(failure)
             print(f"FAIL {failure}")
             spec = case.spec
@@ -171,6 +213,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 print(f"stopping after {len(failures)} failures")
                 break
             continue
+        for leg, seconds in result.leg_seconds.items():
+            leg_totals[leg] = leg_totals.get(leg, 0.0) + seconds
         if not args.quiet:
             elapsed = time.perf_counter() - seed_started
             detected = f" detected by {', '.join(result.detected_by)}" if result.detected_by else ""
@@ -178,8 +222,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   f"{result.records:>6} records {elapsed:6.2f}s{detected}")
 
     elapsed = time.perf_counter() - started
+    if leg_totals and not args.quiet:
+        print(f"leg wall time: {_format_leg_seconds(leg_totals)}")
+    rate = f", {checked / elapsed:.2f} seeds/s" if elapsed > 0 else ""
     print(f"{checked - len(failures)}/{checked} seeds agree across "
-          f"{len(args.engines)} engine legs in {elapsed:.1f}s"
+          f"{len(args.engines)} engine legs in {elapsed:.1f}s{rate}"
           + (f"; {len(failures)} FAILING" if failures else ""))
     return 1 if failures else 0
 

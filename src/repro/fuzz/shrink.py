@@ -155,8 +155,15 @@ def shrink_case(
 
 
 def save_repro(path: str, case: FuzzCase, failure: Optional[FuzzFailure] = None,
-               note: str = "") -> str:
-    """Write a replayable repro file for ``case``; returns ``path``."""
+               note: str = "", leg_seconds: Optional[dict] = None) -> str:
+    """Write a replayable repro file for ``case``; returns ``path``.
+
+    ``leg_seconds`` (defaulting to the timing the failure carries) records
+    the per-leg wall time of the run that failed, so slow legs in nightly
+    runs are visible straight from the repro artifact.
+    """
+    if leg_seconds is None and failure is not None:
+        leg_seconds = getattr(failure, "leg_seconds", None) or None
     document = {
         "version": REPRO_VERSION,
         "seed": case.seed,
@@ -169,6 +176,7 @@ def save_repro(path: str, case: FuzzCase, failure: Optional[FuzzFailure] = None,
             "lifeguard": failure.lifeguard,
             "message": str(failure),
         },
+        "leg_seconds": leg_seconds,
         "note": note,
     }
     with open(path, "w", encoding="utf-8") as handle:

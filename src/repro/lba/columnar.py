@@ -71,6 +71,7 @@ from repro.core.events import (
 )
 from repro.core.inheritance_tracking import ITState
 from repro.lba.dispatch import NLBA_CYCLES, EventDispatcher
+from repro.obs.runtime import OBS
 
 #: Propagation ordinals, precomputed for the step table.
 _ORD_IMM_TO_REG = EventType.IMM_TO_REG.ordinal
@@ -237,9 +238,17 @@ class ColumnarEngine:
         Bit-identical to ``sum(dispatcher.consume(r) for r in
         columns.records())``.
         """
-        dispatcher = self.dispatcher
         if not self.supported:
-            return dispatcher.consume_batch(columns.records())
+            return self.dispatcher.consume_batch(columns.records())
+        self._begin_columns(columns)
+        # The telemetry check is the whole disabled-mode cost: one
+        # attribute load and one branch per chunk.
+        if OBS.enabled and OBS.recorder is not None:
+            return self._consume_runs_observed(columns, OBS.recorder)
+        return self._consume_runs(columns)
+
+    def _begin_columns(self, columns) -> None:
+        """Refresh caches, zero the per-batch counters, ensure runs exist."""
         self._refresh()
         # Row-class counters: each step counts its rows once; _fold expands
         # them into the record/propagation/IT counters they imply.
@@ -262,16 +271,19 @@ class ColumnarEngine:
         self._c_it_conflict = 0
         self._c_if_hits = 0
         self._c_if_misses = 0
-
-        columnar_cycles = 0
-        fallback_cycles = 0
-        consume = dispatcher.consume
-        objects = columns.objects
-        record_of = columns.record
-        steps = self._steps
+        self._c_if_evictions = 0
         if not columns.runs and columns.n:
             # Hand-built columns without a run table: group them now.
             columns.build_runs()
+
+    def _consume_runs(self, columns) -> int:
+        """The production run loop (telemetry disabled)."""
+        columnar_cycles = 0
+        fallback_cycles = 0
+        consume = self.dispatcher.consume
+        objects = columns.objects
+        record_of = columns.record
+        steps = self._steps
         try:
             for i, j, o, f in columns.runs:
                 if o < 0:
@@ -284,6 +296,38 @@ class ColumnarEngine:
                     for row in range(i, j):
                         fallback_cycles += consume(record_of(row))
                 else:
+                    columnar_cycles += step(columns, i, j, f)
+        finally:
+            self._fold(columnar_cycles)
+        return columnar_cycles + fallback_cycles
+
+    def _consume_runs_observed(self, columns, recorder) -> int:
+        """The same run loop, recording per-run telemetry.
+
+        Kept as a mirror of :meth:`_consume_runs` rather than a flag inside
+        it so the disabled path carries zero per-run telemetry branches.
+        """
+        columnar_cycles = 0
+        fallback_cycles = 0
+        consume = self.dispatcher.consume
+        objects = columns.objects
+        record_of = columns.record
+        steps = self._steps
+        record_run = recorder.record_run
+        try:
+            for i, j, o, f in columns.runs:
+                if o < 0:
+                    record_run(-1, j - i, True)
+                    for row in range(i, j):
+                        fallback_cycles += consume(objects[row])
+                    continue
+                step = steps[o]
+                if step is None:
+                    record_run(o, j - i, True)
+                    for row in range(i, j):
+                        fallback_cycles += consume(record_of(row))
+                else:
+                    record_run(o, j - i, False)
                     columnar_cycles += step(columns, i, j, f)
         finally:
             self._fold(columnar_cycles)
@@ -340,6 +384,7 @@ class ColumnarEngine:
                 if_stats.misses += misses
                 # every inlined miss inserted its key
                 if_stats.insertions += misses
+                if_stats.evictions += self._c_if_evictions
 
     # ------------------------------------------------------------------ delivery
 
@@ -651,6 +696,7 @@ class ColumnarEngine:
                         self._c_if_misses += 1
                         if len(entries) >= self._if_ways:
                             entries.popitem(last=False)
+                            self._c_if_evictions += 1
                         entries[key] = None
                 elif filt.lookup_insert(
                     self.accelerator.etct.filter_key(
@@ -701,6 +747,7 @@ class ColumnarEngine:
                         self._c_if_misses += 1
                         if len(entries) >= self._if_ways:
                             entries.popitem(last=False)
+                            self._c_if_evictions += 1
                         entries[key] = None
                 elif filt.lookup_insert(
                     self.accelerator.etct.filter_key(
@@ -1110,6 +1157,7 @@ class ColumnarEngine:
         cycles = 0
         if_hits = 0
         if_misses = 0
+        if_evictions = 0
         delivered = 0
         handled = 0
         handler_instr = 0
@@ -1140,6 +1188,7 @@ class ColumnarEngine:
                 if_misses += 1
                 if len(entries) >= ways:
                     entries.popitem(last=False)
+                    if_evictions += 1
                 entries[key] = None
                 delivered += 1
                 handled += 1
@@ -1181,6 +1230,7 @@ class ColumnarEngine:
                 cycles += NLBA_CYCLES + ac_instr
         self._c_if_hits += if_hits
         self._c_if_misses += if_misses
+        self._c_if_evictions += if_evictions
         self._c_check_filtered += if_hits
         self._c_check_delivered += delivered
         self._c_handled += handled
@@ -1504,6 +1554,7 @@ class ColumnarEngine:
         prop_delivered = 0
         if_hits = 0
         if_misses = 0
+        if_evictions = 0
         delivered = 0
         handled = 0
         handler_instr = 0
@@ -1593,6 +1644,7 @@ class ColumnarEngine:
                 if_misses += 1
                 if len(entries) >= ways:
                     entries.popitem(last=False)
+                    if_evictions += 1
                 entries[key] = None
                 delivered += 1
                 handled += 1
@@ -1636,6 +1688,7 @@ class ColumnarEngine:
         self._c_prop_delivered += prop_delivered
         self._c_if_hits += if_hits
         self._c_if_misses += if_misses
+        self._c_if_evictions += if_evictions
         self._c_check_filtered += if_hits
         self._c_check_delivered += delivered
         self._c_handled += handled

@@ -23,6 +23,7 @@ from typing import Iterable, List, Optional, Union
 from repro.cache.hierarchy import AccessType, MemoryHierarchy
 from repro.core.accelerator import EventAccelerator
 from repro.core.events import AnnotationRecord, InstructionRecord
+from repro.core.stats import stats_as_dict, stats_diff
 from repro.lifeguards.base import Lifeguard
 from repro.memory.shadow import metadata_translation_cost
 
@@ -53,6 +54,14 @@ class DispatchStats:
             + self.mapping_instructions
             + self.miss_handler_instructions
         )
+
+    def as_dict(self) -> dict:
+        """Field-name -> value dict (declaration order), for JSON/export."""
+        return stats_as_dict(self)
+
+    def diff(self, other: "DispatchStats", ignore: Iterable[str] = ()) -> dict:
+        """Differing fields vs ``other``: ``{field: (self, other)}``, empty if equal."""
+        return stats_diff(self, other, ignore=tuple(ignore))
 
 
 class EventDispatcher:

@@ -66,6 +66,17 @@ class MetadataMap(ABC):
     #: number of application bytes covered by one element
     app_bytes_per_element: int
 
+    # Telemetry counters, class-level defaults so instances only pay for
+    # them on first increment (``self.x += 1`` creates the instance attr).
+    #: number of :meth:`fill_bits` range fills performed
+    fill_calls = 0
+    #: elements written through the vectorized slice-assignment fast path
+    fill_fast_elements = 0
+
+    def materialized_buffers(self) -> int:
+        """Number of lazily allocated backing buffers (pages/chunks)."""
+        return 0
+
     @abstractmethod
     def translate(self, app_address: int) -> int:
         """Map an application address to the metadata (lifeguard) address of
@@ -111,6 +122,7 @@ class MetadataMap(ABC):
         """
         if size <= 0:
             return
+        self.fill_calls += 1
         value &= (1 << bits_per_app_byte) - 1
         per_element = self.app_bytes_per_element
         end = start + size
@@ -254,6 +266,7 @@ class TwoLevelShadowMap(MetadataMap):
     def _fill_elements(self, start: int, count: int, pattern: int) -> None:
         """Vectorized whole-chunk fill: one slice assignment per level-2 span."""
         self.writes += count
+        self.fill_fast_elements += count
         pattern &= self._element_mask
         address = start & ADDRESS_MASK
         per_chunk = self._elements_per_chunk
@@ -289,6 +302,10 @@ class TwoLevelShadowMap(MetadataMap):
     def metadata_bytes(self) -> int:
         """Bytes of metadata storage allocated (level-2 chunks only)."""
         return self.allocated_chunks() * self.chunk_size_bytes()
+
+    def materialized_buffers(self) -> int:
+        """Number of level-2 chunk buffers actually materialized by writes."""
+        return len(self._chunks)
 
     def level1_table_bytes(self) -> int:
         """Bytes consumed by the level-1 table (4-byte pointers)."""
@@ -375,6 +392,7 @@ class OneLevelShadowMap(MetadataMap):
     def _fill_elements(self, start: int, count: int, pattern: int) -> None:
         """Vectorized fill: one slice assignment (and touched-mask OR) per page."""
         self.writes += count
+        self.fill_fast_elements += count
         pattern &= self._element_mask
         index = (start & ADDRESS_MASK) // self.app_bytes_per_element
         remaining = count
@@ -399,6 +417,10 @@ class OneLevelShadowMap(MetadataMap):
     def metadata_bytes(self) -> int:
         """Bytes of metadata written so far (distinct elements, sparse backing)."""
         return sum(mask.bit_count() for mask in self._touched.values()) * self.element_size
+
+    def materialized_buffers(self) -> int:
+        """Number of lazily allocated backing pages."""
+        return len(self._pages)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,71 @@
+"""CLI for metrics snapshots: diff, validate, and Prometheus rendering.
+
+Usage::
+
+    python -m repro.obs diff A.json B.json      # snapshots or BENCH files
+    python -m repro.obs validate snapshot.json  # CI schema gate
+    python -m repro.obs prom snapshot.json      # text exposition to stdout
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.obs.diff import diff_files
+from repro.obs.metrics import prometheus_text
+from repro.obs.pipeline import validate_snapshot
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect repro metrics snapshots and BENCH results.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    diff_parser = sub.add_parser(
+        "diff", help="explain deltas between two snapshots or BENCH files"
+    )
+    diff_parser.add_argument("a", help="baseline file (snapshot or BENCH json)")
+    diff_parser.add_argument("b", help="comparison file (snapshot or BENCH json)")
+
+    validate_parser = sub.add_parser(
+        "validate", help="schema-check a metrics snapshot (exit 1 on problems)"
+    )
+    validate_parser.add_argument("snapshot", help="metrics snapshot json")
+
+    prom_parser = sub.add_parser(
+        "prom", help="render a snapshot in Prometheus text exposition format"
+    )
+    prom_parser.add_argument("snapshot", help="metrics snapshot json")
+    prom_parser.add_argument("--prefix", default="repro_", help="metric name prefix")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "diff":
+        for line in diff_files(args.a, args.b):
+            print(line)
+        return 0
+
+    with open(args.snapshot, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+
+    if args.command == "validate":
+        problems = validate_snapshot(document)
+        if problems:
+            for problem in problems:
+                print(f"invalid snapshot: {problem}", file=sys.stderr)
+            return 1
+        print(f"{args.snapshot}: ok")
+        return 0
+
+    # prom
+    sys.stdout.write(prometheus_text(document, prefix=args.prefix))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

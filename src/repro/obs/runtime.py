@@ -1,0 +1,75 @@
+"""The global observability switch and its no-op fast path.
+
+Hot loops (``ColumnarEngine.consume_columns``, ``TraceReader`` chunk
+decode, ``replay_trace``) import the module-level :data:`OBS` object once
+and test ``OBS.enabled`` -- one attribute load and one branch per *chunk*.
+When disabled (the default) no registry, tracer or recorder objects even
+exist, so the disabled path is indistinguishable from a build without the
+telemetry layer beyond that single branch.
+
+:func:`enable` lazily constructs the registry / tracer / recorder;
+:func:`observed` scopes enablement for tests and CLI entry points.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional
+
+
+class _Observability:
+    """Process-wide telemetry state; a singleton lives at :data:`OBS`."""
+
+    __slots__ = ("enabled", "registry", "tracer", "recorder")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.registry = None  # type: Optional[object]
+        self.tracer = None  # type: Optional[object]
+        self.recorder = None  # type: Optional[object]
+
+
+#: The process-wide telemetry singleton.  Hot code imports this name once
+#: and branches on ``OBS.enabled``; everything else hangs off it.
+OBS = _Observability()
+
+
+def enable() -> _Observability:
+    """Turn telemetry on, creating registry/tracer/recorder if absent."""
+    # Imported lazily so the disabled path never loads these modules.
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.pipeline import PipelineRecorder
+    from repro.obs.spans import SpanTracer
+
+    if OBS.registry is None:
+        OBS.registry = MetricsRegistry()
+    if OBS.tracer is None:
+        OBS.tracer = SpanTracer()
+    if OBS.recorder is None:
+        OBS.recorder = PipelineRecorder()
+    OBS.enabled = True
+    return OBS
+
+
+def disable(reset: bool = True) -> None:
+    """Turn telemetry off; by default also drop accumulated state."""
+    OBS.enabled = False
+    if reset:
+        OBS.registry = None
+        OBS.tracer = None
+        OBS.recorder = None
+
+
+@contextmanager
+def observed():
+    """Enable telemetry for a scope, restoring the previous state after.
+
+    Yields the live :class:`_Observability` singleton so callers can reach
+    ``OBS.registry`` / ``OBS.tracer`` without re-importing.
+    """
+    previous = (OBS.enabled, OBS.registry, OBS.tracer, OBS.recorder)
+    enable()
+    try:
+        yield OBS
+    finally:
+        OBS.enabled, OBS.registry, OBS.tracer, OBS.recorder = previous

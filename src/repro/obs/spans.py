@@ -1,0 +1,102 @@
+"""Span-based stage tracing with Chrome trace-event and folded-stack export.
+
+A span is one timed stage occurrence: ``(name, category, start, duration)``
+with ``start`` in :func:`time.perf_counter` seconds.  Hot loops record
+spans with the allocation-free :meth:`SpanTracer.add` (two perf_counter
+reads and a tuple append per span); coarser scopes can use the
+:meth:`SpanTracer.span` context manager, which also maintains a stack so
+folded-stack output nests.
+
+Exports:
+
+* :meth:`SpanTracer.to_chrome_trace` -- the Chrome trace-event JSON format
+  (complete ``"ph": "X"`` events, microsecond timestamps), loadable in
+  Perfetto / ``chrome://tracing``;
+* :meth:`SpanTracer.to_folded` -- ``stack;frames count`` lines (counts in
+  microseconds) for flamegraph tooling.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from typing import Dict, List, Tuple
+
+#: One recorded span: (stack-qualified name, category, start_s, duration_s).
+SpanTuple = Tuple[str, str, float, float]
+
+
+class SpanTracer:
+    """Accumulates completed spans for export."""
+
+    def __init__(self) -> None:
+        self.spans: List[SpanTuple] = []
+        self._stack: List[str] = []
+
+    # ------------------------------------------------------------------ record
+
+    def add(self, name: str, category: str, start: float, duration: float) -> None:
+        """Record one completed span (perf_counter seconds)."""
+        if self._stack:
+            name = self._stack[-1] + ";" + name
+        self.spans.append((name, category, start, duration))
+
+    @contextmanager
+    def span(self, name: str, category: str = "stage"):
+        """Scope one stage; nested spans get stack-qualified names."""
+        qualified = (self._stack[-1] + ";" + name) if self._stack else name
+        self._stack.append(qualified)
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            duration = time.perf_counter() - start
+            self._stack.pop()
+            self.spans.append((qualified, category, start, duration))
+
+    # ------------------------------------------------------------------ inspect
+
+    def totals(self) -> Dict[str, float]:
+        """Summed duration per span name (leaf name, stack prefix included)."""
+        totals: Dict[str, float] = {}
+        for name, _category, _start, duration in self.spans:
+            totals[name] = totals.get(name, 0.0) + duration
+        return totals
+
+    def total_for(self, *names: str) -> float:
+        """Summed duration of every span whose leaf name is in ``names``."""
+        wanted = set(names)
+        return sum(
+            duration
+            for name, _category, _start, duration in self.spans
+            if name.rsplit(";", 1)[-1] in wanted
+        )
+
+    # ------------------------------------------------------------------ export
+
+    def to_chrome_trace(self) -> Dict[str, object]:
+        """Chrome trace-event JSON document (Perfetto-loadable)."""
+        origin = min((span[2] for span in self.spans), default=0.0)
+        pid = os.getpid()
+        events = [
+            {
+                "name": name.rsplit(";", 1)[-1],
+                "cat": category,
+                "ph": "X",
+                "ts": round((start - origin) * 1e6, 3),
+                "dur": round(duration * 1e6, 3),
+                "pid": pid,
+                "tid": 1,
+            }
+            for name, category, start, duration in self.spans
+        ]
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def to_folded(self) -> str:
+        """Folded-stack text: one ``cat;stack dur_us`` line per distinct stack."""
+        folded: Dict[str, int] = {}
+        for name, category, _start, duration in self.spans:
+            key = category + ";" + name
+            folded[key] = folded.get(key, 0) + int(round(duration * 1e6))
+        return "\n".join(f"{key} {value}" for key, value in sorted(folded.items())) + "\n"

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple, Type, Union
@@ -36,6 +37,7 @@ from repro.lba.dispatch import DispatchStats, EventDispatcher
 from repro.lifeguards import ALL_LIFEGUARDS
 from repro.lifeguards.base import Lifeguard
 from repro.lifeguards.reports import ErrorReport, merge_reports
+from repro.obs.runtime import OBS
 from repro.trace.tracefile import TraceReader
 
 LifeguardSpec = Union[str, Type[Lifeguard]]
@@ -102,6 +104,9 @@ class ReplayResult:
     accelerator: AcceleratorStats
     reports: List[ErrorReport] = field(default_factory=list)
     wall_seconds: float = 0.0
+    #: Per-worker wall-time breakdowns (setup/decode/dispatch/serialize/IPC);
+    #: populated by sharded replays when timing collection is on.
+    worker_timings: List[dict] = field(default_factory=list)
 
     @property
     def errors_detected(self) -> int:
@@ -152,16 +157,48 @@ def replay_trace(
     """
     lifeguard_cls = _resolve_lifeguard(lifeguard)
     instance = lifeguard_cls()
+    tracer = OBS.tracer if OBS.enabled else None
     start = time.perf_counter()
     accelerator, dispatcher = build_pipeline(instance, config)
     engine = ColumnarEngine(dispatcher)
+    if tracer is not None:
+        tracer.add("replay.setup", "replay", start, time.perf_counter() - start)
     with TraceReader(trace_path) as reader:
         chunks = reader.num_chunks
-        for index in range(chunks):
-            # One column-decoded chunk feeds one run-grouped columnar
-            # dispatch call (bit-identical to the scalar consume loop).
-            engine.consume_columns(reader.read_chunk_columns(index))
+        if tracer is None:
+            for index in range(chunks):
+                # One column-decoded chunk feeds one run-grouped columnar
+                # dispatch call (bit-identical to the scalar consume loop).
+                engine.consume_columns(reader.read_chunk_columns(index))
+        else:
+            for index in range(chunks):
+                t_decode = time.perf_counter()
+                columns = reader.read_chunk_columns(index)
+                t_dispatch = time.perf_counter()
+                tracer.add("replay.decode", "replay", t_decode, t_dispatch - t_decode)
+                engine.consume_columns(columns)
+                tracer.add(
+                    "replay.dispatch", "replay", t_dispatch,
+                    time.perf_counter() - t_dispatch,
+                )
+    t_finish = time.perf_counter()
     dispatch, accel, reports = _finish_pipeline(instance, accelerator, dispatcher)
+    if OBS.enabled:
+        if tracer is not None:
+            tracer.add("replay.finish", "replay", t_finish, time.perf_counter() - t_finish)
+        if OBS.registry is not None:
+            from repro.obs.pipeline import collect_pipeline
+
+            registry = OBS.registry
+            registry.counter("replay.chunks").inc(chunks)
+            registry.counter("replay.records").inc(dispatch.records_consumed)
+            collect_pipeline(
+                registry,
+                dispatcher=dispatcher,
+                accelerator=accelerator,
+                lifeguard=instance,
+                recorder=OBS.recorder,
+            )
     return ReplayResult(
         lifeguard=lifeguard_cls.name,
         records=dispatch.records_consumed,
@@ -200,11 +237,24 @@ class _ShardResult:
     dispatch: DispatchStats
     accelerator: AcceleratorStats
     reports: List[ErrorReport]
+    #: wall-time breakdown of this shard (only when timing collection is on)
+    timing: Optional[dict] = None
+    #: accelerator/mapper/shadow counter detail (only when collection is on):
+    #: the live IT/IF/M-TLB objects never cross the process boundary, so the
+    #: worker captures their counters as plain dicts for the parent registry
+    detail: Optional[dict] = None
 
 
-def _replay_shard(args: Tuple[str, str, Optional[SystemConfig], Sequence[int]]) -> _ShardResult:
-    """Worker entry point: replay the given chunk indices with a fresh lifeguard."""
-    trace_path, lifeguard_name, config, chunk_indices = args
+def _replay_shard(args) -> _ShardResult:
+    """Worker entry point: replay the given chunk indices with a fresh lifeguard.
+
+    ``args`` is ``(trace_path, lifeguard_name, config, chunk_indices)``
+    with an optional fifth ``collect_timing`` flag (older 4-tuples still
+    work, so pickled work items stay compatible).
+    """
+    trace_path, lifeguard_name, config, chunk_indices = args[:4]
+    if len(args) > 4 and args[4]:
+        return _replay_shard_timed(trace_path, lifeguard_name, config, chunk_indices)
     lifeguard = ALL_LIFEGUARDS[lifeguard_name]()
     accelerator, dispatcher = build_pipeline(lifeguard, config)
     engine = ColumnarEngine(dispatcher)
@@ -219,6 +269,98 @@ def _replay_shard(args: Tuple[str, str, Optional[SystemConfig], Sequence[int]]) 
         accelerator=accel,
         reports=reports,
     )
+
+
+def _replay_shard_timed(
+    trace_path: str,
+    lifeguard_name: str,
+    config: Optional[SystemConfig],
+    chunk_indices: Sequence[int],
+) -> _ShardResult:
+    """:func:`_replay_shard` with a per-stage wall-time breakdown.
+
+    ``monotonic`` start/end are system-wide comparable on Linux, so the
+    parent can line worker lifetimes up against its own clock; the
+    serialize cost is measured by pickling the result exactly as the pool's
+    return path will (the timing dict itself rides along un-measured).
+    """
+    mono_start = time.monotonic()
+    wall_start = time.perf_counter()
+    lifeguard = ALL_LIFEGUARDS[lifeguard_name]()
+    accelerator, dispatcher = build_pipeline(lifeguard, config)
+    engine = ColumnarEngine(dispatcher)
+    setup_s = time.perf_counter() - wall_start
+    decode_s = 0.0
+    dispatch_s = 0.0
+    with TraceReader(trace_path) as reader:
+        for index in chunk_indices:
+            t_decode = time.perf_counter()
+            columns = reader.read_chunk_columns(index)
+            t_dispatch = time.perf_counter()
+            decode_s += t_dispatch - t_decode
+            engine.consume_columns(columns)
+            dispatch_s += time.perf_counter() - t_dispatch
+    dispatch, accel, reports = _finish_pipeline(lifeguard, accelerator, dispatcher)
+    from repro.obs.pipeline import shard_detail
+
+    result = _ShardResult(
+        records=dispatch.records_consumed,
+        dispatch=dispatch,
+        accelerator=accel,
+        reports=reports,
+        detail=shard_detail(accelerator, lifeguard),
+    )
+    t_serialize = time.perf_counter()
+    pickle.dumps(result)
+    serialize_s = time.perf_counter() - t_serialize
+    result.timing = {
+        "pid": os.getpid(),
+        "chunks": len(chunk_indices),
+        "records": result.records,
+        "setup_s": setup_s,
+        "decode_s": decode_s,
+        "dispatch_s": dispatch_s,
+        "serialize_s": serialize_s,
+        "worker_wall_s": time.perf_counter() - wall_start,
+        "mono_start": mono_start,
+        "mono_end": time.monotonic(),
+    }
+    return result
+
+
+def _collect_telemetry(result: ReplayResult, shard_results: List[_ShardResult]) -> None:
+    """Fold a merged sharded replay into the enabled telemetry registry.
+
+    Runs in the parent at merge time: shard workers are separate processes
+    whose registries (if any) die with them, so the accelerator counters
+    travel back as picklable ``detail`` dicts on the shard results.
+    """
+    if not OBS.enabled or OBS.registry is None:
+        return
+    from repro.obs.pipeline import collect_sharded_replay
+
+    collect_sharded_replay(
+        OBS.registry, result,
+        [shard.detail for shard in shard_results if shard.detail],
+    )
+
+
+def _worker_timings(shard_results: List[_ShardResult], elapsed: float) -> List[dict]:
+    """Attach parent-side IPC attribution to the shard timing breakdowns.
+
+    ``ipc_s`` is the slice of the parent's wall time this worker's result
+    did *not* spend computing: process spawn, argument pickling, queue wait
+    and result unpickling.  Together with the in-worker breakdown it makes
+    the multicore inverse-scaling question answerable from the data.
+    """
+    timings = []
+    for shard in shard_results:
+        if not shard.timing:
+            continue
+        timing = dict(shard.timing)
+        timing["ipc_s"] = max(0.0, elapsed - timing.get("worker_wall_s", 0.0))
+        timings.append(timing)
+    return timings
 
 
 class ParallelReplay:
@@ -237,11 +379,13 @@ class ParallelReplay:
         lifeguard: LifeguardSpec,
         config: Optional[SystemConfig] = None,
         workers: Optional[int] = None,
+        collect_timing: bool = False,
     ) -> None:
         self.trace_path = trace_path
         self.lifeguard_cls = _resolve_lifeguard(lifeguard)
         self.config = config
         self.workers = _resolve_workers(workers)
+        self.collect_timing = collect_timing
         with TraceReader(trace_path) as reader:
             self.num_chunks = reader.num_chunks
 
@@ -249,17 +393,21 @@ class ParallelReplay:
         """Contiguous chunk-index spans, one per worker (empty spans dropped)."""
         return _contiguous_spans(self.num_chunks, self.workers)
 
-    def _shard_args(self):
+    def _shard_args(self, collect_timing: bool = False):
         return [
-            (self.trace_path, self.lifeguard_cls.name, self.config, span)
+            (self.trace_path, self.lifeguard_cls.name, self.config, span, collect_timing)
             for span in self.shards()
         ]
+
+    def _collect_timing(self) -> bool:
+        """Timing is on when requested explicitly or telemetry is enabled."""
+        return self.collect_timing or OBS.enabled
 
     def _merge(self, shard_results: List[_ShardResult], workers: int, elapsed: float) -> ReplayResult:
         dispatch = sum_stats(DispatchStats, [s.dispatch for s in shard_results])
         accel = sum_stats(AcceleratorStats, [s.accelerator for s in shard_results])
         reports = merge_reports(*[s.reports for s in shard_results])
-        return ReplayResult(
+        result = ReplayResult(
             lifeguard=self.lifeguard_cls.name,
             records=sum(s.records for s in shard_results),
             chunks=self.num_chunks,
@@ -268,17 +416,20 @@ class ParallelReplay:
             accelerator=accel,
             reports=reports,
             wall_seconds=elapsed,
+            worker_timings=_worker_timings(shard_results, elapsed),
         )
+        _collect_telemetry(result, shard_results)
+        return result
 
     def run_sequential(self) -> ReplayResult:
         """Replay every shard in-process (reference for the parallel path)."""
         start = time.perf_counter()
-        results = [_replay_shard(args) for args in self._shard_args()]
+        results = [_replay_shard(args) for args in self._shard_args(self._collect_timing())]
         return self._merge(results, workers=1, elapsed=time.perf_counter() - start)
 
     def run(self) -> ReplayResult:
         """Replay shards across worker processes and merge the results."""
-        args = self._shard_args()
+        args = self._shard_args(self._collect_timing())
         if len(args) <= 1:
             return self.run_sequential()
         start = time.perf_counter()
@@ -307,6 +458,7 @@ class MultiTraceReplay:
         lifeguard: LifeguardSpec,
         config: Optional[SystemConfig] = None,
         workers: Optional[int] = None,
+        collect_timing: bool = False,
     ) -> None:
         if not trace_paths:
             raise ValueError("at least one trace path is required")
@@ -314,25 +466,32 @@ class MultiTraceReplay:
         self.lifeguard_cls = _resolve_lifeguard(lifeguard)
         self.config = config
         self.workers = _resolve_workers(workers)
+        self.collect_timing = collect_timing
         self.chunks_per_trace: List[int] = []
         for path in self.trace_paths:
             with TraceReader(path) as reader:
                 self.chunks_per_trace.append(reader.num_chunks)
         self.num_chunks = sum(self.chunks_per_trace)
 
-    def _work_items(self) -> List[Tuple[str, str, Optional[SystemConfig], Sequence[int]]]:
+    def _work_items(self, collect_timing: bool = False):
         """One ``_replay_shard`` argument tuple per (file, contiguous span)."""
         items = []
         for path, num_chunks in zip(self.trace_paths, self.chunks_per_trace):
             for span in _contiguous_spans(num_chunks, self.workers):
-                items.append((path, self.lifeguard_cls.name, self.config, span))
+                items.append(
+                    (path, self.lifeguard_cls.name, self.config, span, collect_timing)
+                )
         return items
+
+    def _collect_timing(self) -> bool:
+        """Timing is on when requested explicitly or telemetry is enabled."""
+        return self.collect_timing or OBS.enabled
 
     def _merge(self, results: List[_ShardResult], workers: int, elapsed: float) -> ReplayResult:
         dispatch = sum_stats(DispatchStats, [s.dispatch for s in results])
         accel = sum_stats(AcceleratorStats, [s.accelerator for s in results])
         reports = merge_reports(*[s.reports for s in results])
-        return ReplayResult(
+        merged = ReplayResult(
             lifeguard=self.lifeguard_cls.name,
             records=sum(s.records for s in results),
             chunks=self.num_chunks,
@@ -341,17 +500,20 @@ class MultiTraceReplay:
             accelerator=accel,
             reports=reports,
             wall_seconds=elapsed,
+            worker_timings=_worker_timings(results, elapsed),
         )
+        _collect_telemetry(merged, results)
+        return merged
 
     def run_sequential(self) -> ReplayResult:
         """Replay every work item in-process (reference for the parallel path)."""
         start = time.perf_counter()
-        results = [_replay_shard(item) for item in self._work_items()]
+        results = [_replay_shard(item) for item in self._work_items(self._collect_timing())]
         return self._merge(results, workers=1, elapsed=time.perf_counter() - start)
 
     def run(self) -> ReplayResult:
         """Replay work items across worker processes and merge the results."""
-        items = self._work_items()
+        items = self._work_items(self._collect_timing())
         if len(items) <= 1 or self.workers <= 1:
             return self.run_sequential()
         start = time.perf_counter()

@@ -21,11 +21,13 @@ from __future__ import annotations
 
 import os
 import struct
+import time
 import zlib
 from dataclasses import dataclass, field
 from typing import Iterator, List, Union
 
 from repro.core.events import AnnotationRecord, InstructionRecord
+from repro.obs.runtime import OBS
 from repro.trace.codec import (
     RecordColumns,
     RecordEncoder,
@@ -150,7 +152,17 @@ class TraceWriter:
         # Compress (or write) straight from the chunk bytearray -- no
         # intermediate ``bytes`` copy of the raw payload.
         raw_len = len(self._chunk)
-        stored = zlib.compress(self._chunk, 6) if self.compress else self._chunk
+        if OBS.enabled:
+            start = time.perf_counter()
+            stored = zlib.compress(self._chunk, 6) if self.compress else self._chunk
+            if OBS.tracer is not None:
+                OBS.tracer.add(
+                    "capture.compress", "capture", start, time.perf_counter() - start
+                )
+            if OBS.recorder is not None:
+                OBS.recorder.record_chunk_written(len(stored), raw_len)
+        else:
+            stored = zlib.compress(self._chunk, 6) if self.compress else self._chunk
         offset = self._file.tell()
         self._file.write(stored)
         self._chunks.append(
@@ -287,6 +299,8 @@ class TraceReader:
         if not 0 <= index < len(self.chunks):
             raise IndexError(f"chunk {index} out of range (trace has {len(self.chunks)})")
         chunk = self.chunks[index]
+        if OBS.enabled:
+            return self._chunk_payload_observed(chunk, index)
         self._file.seek(chunk.offset)
         stored = self._file.read(chunk.stored_len)
         if len(stored) < chunk.stored_len:
@@ -305,6 +319,35 @@ class TraceReader:
             )
         return raw
 
+    def _chunk_payload_observed(self, chunk, index: int):
+        """Telemetry twin of :meth:`_chunk_payload`: spans + byte counters."""
+        tracer = OBS.tracer
+        start = time.perf_counter()
+        self._file.seek(chunk.offset)
+        stored = self._file.read(chunk.stored_len)
+        if tracer is not None:
+            tracer.add("codec.read", "codec", start, time.perf_counter() - start)
+        if len(stored) < chunk.stored_len:
+            raise TraceFormatError(f"{self.path}: chunk {index} truncated on disk")
+        if self.compressed:
+            start = time.perf_counter()
+            try:
+                raw = zlib.decompress(stored)
+            except zlib.error as exc:
+                raise TraceFormatError(f"{self.path}: chunk {index} corrupt: {exc}") from exc
+            if tracer is not None:
+                tracer.add("codec.decompress", "codec", start, time.perf_counter() - start)
+        else:
+            raw = memoryview(stored)
+        if len(raw) != chunk.raw_len:
+            raise TraceFormatError(
+                f"{self.path}: chunk {index} raw size mismatch "
+                f"({len(raw)} != {chunk.raw_len})"
+            )
+        if OBS.recorder is not None:
+            OBS.recorder.record_chunk_read(chunk.stored_len, chunk.raw_len)
+        return raw
+
     def read_chunk(self, index: int) -> List[Record]:
         """Decode and return all records of one chunk."""
         raw = self._chunk_payload(index)
@@ -321,10 +364,23 @@ class TraceReader:
         row.  Raises the same :class:`TraceFormatError` on corruption.
         """
         raw = self._chunk_payload(index)
+        if not OBS.enabled:
+            try:
+                return decode_record_columns(raw, self.chunks[index].records)
+            except TraceCodecError as exc:
+                raise TraceFormatError(f"{self.path}: chunk {index} corrupt: {exc}") from exc
+        start = time.perf_counter()
         try:
-            return decode_record_columns(raw, self.chunks[index].records)
+            columns = decode_record_columns(raw, self.chunks[index].records)
         except TraceCodecError as exc:
             raise TraceFormatError(f"{self.path}: chunk {index} corrupt: {exc}") from exc
+        if OBS.tracer is not None:
+            OBS.tracer.add(
+                "codec.decode_columns", "codec", start, time.perf_counter() - start
+            )
+        if OBS.recorder is not None:
+            OBS.recorder.record_chunk_decoded(self.chunks[index].records)
+        return columns
 
     def iter_records(self) -> Iterator[Record]:
         """Yield every record of the trace in order."""

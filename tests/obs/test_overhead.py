@@ -1,0 +1,111 @@
+"""Disabled-telemetry overhead guard for the columnar hot path.
+
+The telemetry layer's contract is a strict no-op fast path: with ``OBS``
+disabled (the default), ``ColumnarEngine.consume_columns`` pays one
+attribute load and one branch per *chunk* over a build without the
+telemetry layer.  The guard measures the public entry point against the
+internal run loop (``_begin_columns`` + ``_consume_runs``), which is
+exactly the registry-absent code path, and bounds the ratio at 2%.
+"""
+
+import time
+
+import pytest
+
+from repro.core.events import AnnotationRecord, EventType, InstructionRecord
+from repro.lba.columnar import ColumnarEngine
+from repro.lifeguards import ALL_LIFEGUARDS
+from repro.obs import OBS
+from repro.trace.codec import RecordColumns
+from repro.trace.replay import build_pipeline
+
+#: Allowed disabled-telemetry slowdown of the public entry point.
+OVERHEAD_CEILING = 1.02
+#: Timing attempts before the guard gives up (scheduler-noise retries).
+ATTEMPTS = 5
+REPEATS = 5
+
+
+def _records(count=20_000):
+    records = []
+    heap = 0x0900_0000
+    for i in range(count):
+        if i % 512 == 0:
+            records.append(AnnotationRecord(
+                event_type=EventType.MALLOC, address=heap + (i // 512) * 4096,
+                size=2048, pc=0x0804_7F00, thread_id=0,
+            ))
+        slot = heap + (i % 512) * 4
+        if i % 3:
+            records.append(InstructionRecord(
+                pc=0x0804_8000 + 4 * (i % 64), event_type=EventType.MEM_TO_REG,
+                dest_reg=i % 8, src_addr=slot, size=4, is_load=True,
+                base_reg=(i + 1) % 8,
+            ))
+        else:
+            records.append(InstructionRecord(
+                pc=0x0804_8000 + 4 * (i % 64), event_type=EventType.REG_TO_MEM,
+                src_reg=i % 8, dest_addr=slot, size=4, is_store=True,
+                base_reg=(i + 2) % 8,
+            ))
+    return records
+
+
+def _engine():
+    lifeguard = ALL_LIFEGUARDS["TaintCheck"]()
+    _, dispatcher = build_pipeline(lifeguard)
+    return ColumnarEngine(dispatcher)
+
+
+def _time_best(columns, run, repeats=REPEATS):
+    best = None
+    for _ in range(repeats):
+        engine = _engine()
+        start = time.perf_counter()
+        run(engine, columns)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def _public(engine, columns):
+    engine.consume_columns(columns)
+
+
+def _registry_absent(engine, columns):
+    # The internal run loop, entered past the OBS branch: this is the
+    # code a build without the telemetry layer would run.
+    engine._begin_columns(columns)
+    engine._consume_runs(columns)
+
+
+def test_disabled_overhead_within_two_percent():
+    assert not OBS.enabled, "telemetry must be disabled for the overhead guard"
+    columns = RecordColumns.from_records(_records())
+    best_ratio = None
+    for _attempt in range(ATTEMPTS):
+        baseline = _time_best(columns, _registry_absent)
+        public = _time_best(columns, _public)
+        ratio = public / baseline
+        best_ratio = ratio if best_ratio is None else min(best_ratio, ratio)
+        if best_ratio <= OVERHEAD_CEILING:
+            break
+    assert best_ratio <= OVERHEAD_CEILING, (
+        f"disabled-telemetry consume_columns is {best_ratio:.3f}x the "
+        f"registry-absent run loop (ceiling {OVERHEAD_CEILING}x)"
+    )
+
+
+@pytest.mark.benchmark(group="columnar-disabled")
+def test_benchmark_disabled_columnar_smoke(benchmark):
+    """pytest-benchmark smoke: disabled-path columnar dispatch throughput."""
+    columns = RecordColumns.from_records(_records(4_000))
+
+    def run():
+        engine = _engine()
+        engine.consume_columns(columns)
+        return engine.dispatcher.stats.records_consumed
+
+    records = benchmark(run)
+    assert records == len(columns)
+    assert not OBS.enabled

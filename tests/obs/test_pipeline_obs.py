@@ -1,0 +1,210 @@
+"""End-to-end telemetry: enabled replay snapshots, spans, bit-identity."""
+
+import time
+
+import pytest
+
+from repro.obs import (
+    OBS,
+    MetricsRegistry,
+    REQUIRED_ACCELERATOR_COUNTERS,
+    observed,
+    prometheus_text,
+    snapshot_document,
+    validate_snapshot,
+)
+from repro.core.events import AnnotationRecord, EventType, InstructionRecord
+from repro.obs.pipeline import PipelineRecorder
+from repro.trace.replay import ParallelReplay, replay_trace
+from repro.trace.tracefile import TraceWriter
+
+
+def _synthetic_records(count):
+    """A loop-like stream mixing allocations, loads and stores."""
+    records = []
+    heap = 0x0900_0000
+    for i in range(count):
+        if i % 512 == 0:
+            records.append(AnnotationRecord(
+                event_type=EventType.MALLOC, address=heap + (i // 512) * 4096,
+                size=2048, pc=0x0804_7F00, thread_id=0,
+            ))
+        slot = heap + (i % 512) * 4
+        if i % 3:
+            records.append(InstructionRecord(
+                pc=0x0804_8000 + 4 * (i % 64), event_type=EventType.MEM_TO_REG,
+                dest_reg=i % 8, src_addr=slot, size=4, is_load=True,
+                base_reg=(i + 1) % 8,
+            ))
+        else:
+            records.append(InstructionRecord(
+                pc=0x0804_8000 + 4 * (i % 64), event_type=EventType.REG_TO_MEM,
+                src_reg=i % 8, dest_addr=slot, size=4, is_store=True,
+                base_reg=(i + 2) % 8,
+            ))
+    return records
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    """A small multi-chunk synthetic trace."""
+    path = str(tmp_path_factory.mktemp("obs") / "synthetic.lbatrace")
+    with TraceWriter(path, chunk_bytes=16 * 1024) as writer:
+        writer.extend(_synthetic_records(4_000))
+    return path
+
+
+def test_disabled_by_default():
+    assert OBS.enabled is False
+    assert OBS.registry is None and OBS.tracer is None and OBS.recorder is None
+
+
+def test_observed_scope_restores_previous_state():
+    with observed() as obs:
+        assert obs.enabled and obs.registry is not None
+    assert OBS.enabled is False
+    assert OBS.registry is None
+
+
+def test_enabled_replay_produces_valid_snapshot(trace_path):
+    with observed() as obs:
+        result = replay_trace(trace_path, "MemCheck")
+        document = snapshot_document(obs.registry, meta={"tool": "test"})
+    assert validate_snapshot(document) == []
+    counters = document["counters"]
+    for name in REQUIRED_ACCELERATOR_COUNTERS:
+        assert name in counters, name
+    # The accelerator stack actually saw traffic on this workload.
+    assert counters["it.events_seen"] > 0
+    assert counters["if.lookups"] > 0
+    assert counters["mtlb.lookups"] > 0
+    assert counters["mtlb.hits"] + counters["mtlb.misses"] == counters["mtlb.lookups"]
+    assert counters["if.hits"] + counters["if.misses"] == counters["if.lookups"]
+    # Recorder-side counters agree with the replay result.
+    assert counters["replay.records"] == result.records
+    assert counters["replay.chunks"] == result.chunks
+    assert counters["codec.chunks_read"] == result.chunks
+    assert counters["dispatch.records_total"] == result.records
+    assert counters["dispatch.records_consumed"] == result.records
+    # The snapshot renders straight to Prometheus text.
+    text = prometheus_text(document)
+    assert "repro_it_events_seen" in text
+
+
+def test_stage_spans_cover_replay_wall_time(trace_path):
+    """Top-level stage spans must account for ~all of the replay wall time."""
+    with observed() as obs:
+        start = time.perf_counter()
+        replay_trace(trace_path, "MemCheck")
+        wall = time.perf_counter() - start
+        covered = obs.tracer.total_for(
+            "replay.setup", "replay.decode", "replay.dispatch", "replay.finish"
+        )
+        trace = obs.tracer.to_chrome_trace()
+    assert covered >= 0.9 * wall
+    assert covered <= wall * 1.01  # spans are sections of the same wall clock
+    assert trace["traceEvents"], "replay produced no trace events"
+
+
+def test_telemetry_does_not_perturb_replay(trace_path):
+    """Bit-identity: enabled telemetry observes, never changes, the pipeline."""
+    baseline = replay_trace(trace_path, "MemCheck")
+    with observed():
+        traced = replay_trace(trace_path, "MemCheck")
+    assert traced.records == baseline.records
+    assert traced.chunks == baseline.chunks
+    assert traced.dispatch.diff(baseline.dispatch) == {}
+    assert traced.accelerator == baseline.accelerator
+    assert traced.reports == baseline.reports
+
+
+def test_snapshot_is_deterministic_across_runs(trace_path):
+    def snap():
+        with observed() as obs:
+            replay_trace(trace_path, "TaintCheck")
+            return snapshot_document(obs.registry)
+
+    assert snap() == snap()
+
+
+def test_worker_timings_collected_when_enabled(trace_path):
+    with observed():
+        result = ParallelReplay(trace_path, "MemCheck", workers=2).run_sequential()
+    assert result.worker_timings, "enabled telemetry should collect worker timings"
+    for timing in result.worker_timings:
+        for key in ("setup_s", "decode_s", "dispatch_s", "serialize_s",
+                    "ipc_s", "worker_wall_s", "chunks", "records", "pid"):
+            assert key in timing, key
+    assert sum(t["records"] for t in result.worker_timings) == result.records
+
+
+def test_sharded_replay_collects_accelerator_counters(trace_path):
+    """Shard workers ship counter detail back; the merge folds it in."""
+    with observed() as obs:
+        result = ParallelReplay(trace_path, "MemCheck", workers=2).run_sequential()
+        document = snapshot_document(obs.registry)
+    assert validate_snapshot(document) == []
+    counters = document["counters"]
+    assert counters["it.events_seen"] > 0
+    assert counters["if.lookups"] > 0
+    assert counters["mtlb.lookups"] > 0
+    assert counters["replay.records"] == result.records
+    assert counters["dispatch.records_consumed"] == result.records
+    assert document["gauges"]["replay.workers"] == 1
+
+
+def test_sharded_and_sequential_accelerator_counters_agree(trace_path):
+    """One worker's sharded replay sees exactly the sequential counter totals."""
+
+    def counters(run):
+        with observed() as obs:
+            run()
+            return dict(snapshot_document(obs.registry)["counters"])
+
+    sequential = counters(lambda: replay_trace(trace_path, "MemCheck"))
+    sharded = counters(
+        lambda: ParallelReplay(trace_path, "MemCheck", workers=1).run_sequential()
+    )
+    for name in ("it.events_seen", "it.events_discarded", "if.lookups", "if.hits",
+                 "if.evictions", "mtlb.lookups", "mtlb.hits", "mtlb.misses",
+                 "mapper.translations", "replay.records"):
+        assert sharded[name] == sequential[name], name
+
+
+def test_worker_timings_absent_by_default(trace_path):
+    result = ParallelReplay(trace_path, "MemCheck", workers=2).run_sequential()
+    assert result.worker_timings == []
+
+
+def test_recorder_flush_resets_accumulators():
+    recorder = PipelineRecorder()
+    recorder.record_run(0, 5, False)
+    recorder.record_run(-1, 1, True)
+    recorder.record_chunk_read(100, 400)
+    registry = MetricsRegistry()
+    recorder.flush_to(registry)
+    first = registry.snapshot()
+    assert first["counters"]["dispatch.records_total"] == 6
+    assert first["counters"]["dispatch.fallback_records"] == 1
+    assert first["counters"]["codec.chunks_read"] == 1
+    # A second flush contributes nothing: the accumulators were reset.
+    recorder.flush_to(registry)
+    assert registry.snapshot() == first
+
+
+def test_validate_snapshot_flags_problems():
+    registry = MetricsRegistry()
+    document = snapshot_document(registry)
+    problems = validate_snapshot(document)
+    # An empty registry is missing every required accelerator counter.
+    assert len(problems) == len(REQUIRED_ACCELERATOR_COUNTERS)
+    assert any("it.events_seen" in problem for problem in problems)
+
+    assert validate_snapshot({"kind": "nope"}) != []
+
+    for name in REQUIRED_ACCELERATOR_COUNTERS:
+        document["counters"][name] = 0
+    assert validate_snapshot(document) == []
+
+    document["histograms"]["h"] = {"bounds": [1], "counts": [1], "sum": 0, "count": 1}
+    assert any("length mismatch" in problem for problem in validate_snapshot(document))

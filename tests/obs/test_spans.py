@@ -1,0 +1,90 @@
+"""Span tracer: nesting, totals, Chrome trace and folded-stack export."""
+
+import json
+
+from repro.obs import SpanTracer
+
+
+def test_span_context_manager_records_duration():
+    tracer = SpanTracer()
+    with tracer.span("replay.setup"):
+        pass
+    assert len(tracer.spans) == 1
+    name, category, _start, duration = tracer.spans[0]
+    assert name == "replay.setup"
+    assert category == "stage"
+    assert duration >= 0
+
+
+def test_nested_spans_get_stack_qualified_names():
+    tracer = SpanTracer()
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+        tracer.add("leaf", "codec", 0.0, 0.5)
+    names = [span[0] for span in tracer.spans]
+    # Inner spans complete (and append) before the outer scope exits.
+    assert names == ["outer;inner", "outer;leaf", "outer"]
+
+
+def test_add_outside_scope_is_unqualified():
+    tracer = SpanTracer()
+    tracer.add("codec.read", "codec", 1.0, 0.25)
+    assert tracer.spans == [("codec.read", "codec", 1.0, 0.25)]
+
+
+def test_totals_and_total_for():
+    tracer = SpanTracer()
+    tracer.add("replay.decode", "stage", 0.0, 0.5)
+    tracer.add("replay.decode", "stage", 1.0, 0.25)
+    tracer.add("replay.dispatch", "stage", 2.0, 1.0)
+    assert tracer.totals() == {"replay.decode": 0.75, "replay.dispatch": 1.0}
+    assert tracer.total_for("replay.decode") == 0.75
+    assert tracer.total_for("replay.decode", "replay.dispatch") == 1.75
+
+
+def test_total_for_matches_leaf_of_nested_name():
+    tracer = SpanTracer()
+    with tracer.span("replay.dispatch"):
+        tracer.add("codec.read", "codec", 0.0, 0.5)
+    assert tracer.total_for("codec.read") == 0.5
+
+
+def test_chrome_trace_format():
+    tracer = SpanTracer()
+    tracer.add("a", "stage", 10.0, 0.5)
+    with tracer.span("b"):
+        tracer.add("c", "codec", 10.25, 0.001)
+    document = tracer.to_chrome_trace()
+    assert document["displayTimeUnit"] == "ms"
+    events = document["traceEvents"]
+    assert len(events) == 3
+    for event in events:
+        assert event["ph"] == "X"
+        assert event["tid"] == 1
+        assert event["ts"] >= 0
+        assert event["dur"] >= 0
+    # Names are leaf names (Perfetto nests by timestamps, not ;-stacks).
+    assert {event["name"] for event in events} == {"a", "b", "c"}
+    # The earliest span anchors the timeline at ts=0.
+    assert min(event["ts"] for event in events) == 0
+    # ts is microseconds relative to the origin.
+    by_name = {event["name"]: event for event in events}
+    assert by_name["c"]["ts"] == 250000.0
+    assert by_name["a"]["dur"] == 500000.0
+    # The document is plain JSON.
+    json.dumps(document)
+
+
+def test_folded_stack_output():
+    tracer = SpanTracer()
+    tracer.add("replay.decode", "stage", 0.0, 0.5)
+    tracer.add("replay.decode", "stage", 1.0, 0.5)
+    with tracer.span("replay.dispatch"):
+        tracer.add("codec.read", "codec", 0.0, 0.25)
+    text = tracer.to_folded()
+    lines = text.splitlines()
+    assert "stage;replay.decode 1000000" in lines
+    assert any(line.startswith("codec;replay.dispatch;codec.read ") for line in lines)
+    assert lines == sorted(lines)
+    assert text.endswith("\n")
