@@ -29,6 +29,7 @@ from repro.lifeguards import (
 )
 from repro.lifeguards.base import Lifeguard
 from repro.trace.replay import MultiTraceReplay, ParallelReplay, ReplayResult, replay_trace
+from repro.trace.supervisor import SupervisorPolicy
 from repro.trace.tracefile import TraceStats, TraceWriter
 from repro.workloads.base import Workload, get_workload, workload_names
 
@@ -219,17 +220,24 @@ def replay_captured(
     lifeguard: Union[str, Type[Lifeguard]],
     config: Optional[SystemConfig] = None,
     workers: int = 1,
+    quarantine: str = "strict",
+    policy: Optional[SupervisorPolicy] = None,
 ) -> ReplayResult:
     """Replay a captured trace through a lifeguard (replay-many path).
 
-    ``workers > 1`` shards the trace's chunks across processes, each with a
-    private lifeguard instance, and merges stats and reports; ``workers ==
-    1`` is the faithful single-consumer replay that reproduces the live
-    run's reports and event counts exactly.
+    ``workers > 1`` shards the trace's chunks across supervised processes,
+    each with a private lifeguard instance, and merges stats and reports;
+    ``workers == 1`` is the faithful single-consumer replay that reproduces
+    the live run's reports and event counts exactly.  ``quarantine`` and
+    ``policy`` control damaged-chunk handling and worker supervision (see
+    :mod:`repro.trace.supervisor`).
     """
     if workers <= 1:
-        return replay_trace(os.fspath(path), lifeguard, config)
-    return ParallelReplay(os.fspath(path), lifeguard, config, workers=workers).run()
+        return replay_trace(os.fspath(path), lifeguard, config, quarantine=quarantine)
+    return ParallelReplay(
+        os.fspath(path), lifeguard, config, workers=workers,
+        quarantine=quarantine, policy=policy,
+    ).run()
 
 
 def multicore_trace_paths(
@@ -281,8 +289,11 @@ def replay_multicore_traces(
     lifeguard: Union[str, Type[Lifeguard]],
     config: Optional[SystemConfig] = None,
     workers: Optional[int] = None,
+    quarantine: str = "strict",
+    policy: Optional[SupervisorPolicy] = None,
 ) -> ReplayResult:
     """Replay a per-core trace set through sharded lifeguard instances."""
     return MultiTraceReplay(
-        [os.fspath(path) for path in paths], lifeguard, config, workers=workers
+        [os.fspath(path) for path in paths], lifeguard, config, workers=workers,
+        quarantine=quarantine, policy=policy,
     ).run()

@@ -44,6 +44,7 @@ from repro.experiments.harness import (
     run_multicore,
     trace_path_for,
 )
+from repro.trace.supervisor import QUARANTINE_POLICIES, SupervisorPolicy
 from repro.workloads.base import workload_names
 
 #: Benchmark subset used by ``--quick`` (spans memory-bound and CPU-bound).
@@ -75,6 +76,8 @@ def replay_all(
     trace_dir: str,
     lifeguards: Sequence[str] = REPLAY_LIFEGUARDS,
     workers: int = 1,
+    quarantine: str = "strict",
+    policy: Optional[SupervisorPolicy] = None,
 ) -> List[str]:
     """Replay every stored trace through each lifeguard; returns report lines."""
     paths = sorted(glob.glob(os.path.join(trace_dir, "*.lbatrace")))
@@ -91,12 +94,19 @@ def replay_all(
     for path in paths:
         benchmark = os.path.splitext(os.path.basename(path))[0]
         for name in lifeguards:
-            result = replay_captured(path, name, workers=workers)
+            result = replay_captured(
+                path, name, workers=workers, quarantine=quarantine, policy=policy
+            )
+            quarantined = (
+                f"  [{len(result.skipped_chunks)} chunks / "
+                f"{result.skipped_records} records quarantined]"
+                if result.skipped_chunks else ""
+            )
             lines.append(
                 f"  {benchmark:<12} {name:<18} {result.records:>9} records  "
                 f"{result.dispatch.events_handled:>9} events  "
                 f"{result.errors_detected:>3} errors  "
-                f"{result.records_per_second:>12,.0f} rec/s"
+                f"{result.records_per_second:>12,.0f} rec/s{quarantined}"
             )
     return lines
 
@@ -226,6 +236,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="lifeguards used with --replay-traces")
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes for --replay-traces (sharded replay)")
+    parser.add_argument("--quarantine", choices=QUARANTINE_POLICIES, default="strict",
+                        help="damaged-chunk policy for --replay-traces: 'strict' "
+                             "fails on the first corrupt chunk, 'degrade' skips "
+                             "it and reports exact record accounting")
+    parser.add_argument("--shard-timeout", type=float, default=None, metavar="SECONDS",
+                        help="per-shard-attempt wall-clock timeout for sharded "
+                             "replay (default: the supervisor's 300s)")
+    parser.add_argument("--shard-retries", type=int, default=None, metavar="N",
+                        help="attempts per replay shard before bisection/"
+                             "quarantine (default: the supervisor's 3)")
     parser.add_argument("--cores", type=int, default=1,
                         help="application/lifeguard core pairs; >1 runs the "
                              "multi-core platform report instead of the figures")
@@ -262,8 +282,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         sections = ["\n".join(capture_all(args.capture_traces, quick=args.quick,
                                           scale=args.scale))]
     elif args.replay_traces:
+        policy = None
+        if args.shard_timeout is not None or args.shard_retries is not None:
+            defaults = SupervisorPolicy()
+            policy = SupervisorPolicy(
+                timeout_seconds=(args.shard_timeout if args.shard_timeout is not None
+                                 else defaults.timeout_seconds),
+                max_attempts=(args.shard_retries if args.shard_retries is not None
+                              else defaults.max_attempts),
+            )
         sections = ["\n".join(replay_all(args.replay_traces, lifeguards=args.lifeguards,
-                                         workers=args.workers))]
+                                         workers=args.workers,
+                                         quarantine=args.quarantine, policy=policy))]
     elif args.core_sweep:
         cores_list = [c for c in (1, 2, 4, 8, 16) if c <= max(args.cores, 1)]
         if cores_list[-1] != args.cores:

@@ -1,0 +1,29 @@
+"""Deterministic fault injection for the replay pipeline.
+
+The supervised replay stack (:mod:`repro.trace.supervisor`) claims to
+survive crashing, hanging and corrupting workers; this package *proves*
+it, deterministically:
+
+* :mod:`repro.faultinject.plan` -- seeded :class:`FaultPlan`\\ s that make
+  replay workers SIGKILL themselves, ``os._exit``, hang or raise IO
+  errors at chosen chunks, with atomic claim files so "the first N
+  attempts fail" holds exactly across processes and retries;
+* :mod:`repro.faultinject.corrupt` -- seeded trace-file damage (chunk bit
+  flips, truncation, single-byte patches);
+* :mod:`repro.faultinject.chaos` -- the scenario suite asserting that
+  recoverable faults yield bit-identical results to clean runs,
+  unrecoverable faults yield precise quarantine reports or errors, and
+  nothing ever hangs (run via ``python -m repro.faultinject``).
+"""
+
+from repro.faultinject.corrupt import corrupt_byte, flip_chunk_bytes, truncate_trace
+from repro.faultinject.plan import FAULT_KINDS, FaultPlan, FaultSpec
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "corrupt_byte",
+    "flip_chunk_bytes",
+    "truncate_trace",
+]

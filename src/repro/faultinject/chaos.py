@@ -1,0 +1,374 @@
+"""Chaos suite: prove supervised replay survives injected faults.
+
+Each scenario builds on the same seeded workload trace and asserts one
+fault-tolerance invariant end to end:
+
+* **recoverable faults** (a worker SIGKILL, ``os._exit``, hang, or
+  transient IO error) must leave the merged :class:`ReplayResult`
+  *bit-identical* to a clean sequential replay -- same record counts,
+  dispatch/accelerator stats and error reports -- with the failures
+  visible in ``result.failures`` / ``result.fault_counters``;
+* **unrecoverable faults** (a poison chunk that kills every worker that
+  reads it, corrupt chunk bytes, a truncated file) must produce a precise
+  quarantine report under ``degrade`` and a precise error under
+  ``strict`` -- never a silently wrong result;
+* **nothing hangs**: every scenario runs under attempt timeouts, so the
+  suite itself is a bounded smoke test fit for CI.
+
+Run it via ``python -m repro.faultinject`` (see
+:mod:`repro.faultinject.cli`).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import shutil
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.faultinject.corrupt import flip_chunk_bytes, truncate_trace
+from repro.faultinject.plan import FaultPlan
+from repro.isa.threads import ThreadedMachine
+from repro.trace.replay import ParallelReplay, ReplayResult, replay_trace
+from repro.trace.supervisor import ReplayError, SupervisorPolicy
+from repro.trace.tracefile import TraceFormatError, TraceReader, TraceWriter, verify_trace
+from repro.workloads.generator import build_fuzz_programs, generate_spec
+
+#: Lifeguard every scenario replays through (unredacted metadata flow,
+#: deterministic reports).
+CHAOS_LIFEGUARD = "MemCheck"
+
+
+class ChaosViolation(AssertionError):
+    """A chaos scenario's fault-tolerance invariant did not hold."""
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise ChaosViolation(message)
+
+
+def build_chaos_trace(path: str, seed: int, min_chunks: int = 10) -> int:
+    """Write the seeded chaos workload trace; returns its chunk count.
+
+    The record stream comes from the fuzz workload generator (same seeds
+    as the differential oracle), and ``chunk_bytes`` is sized off the raw
+    byte count so the trace always has enough chunks for multi-worker
+    sharding and span bisection to be meaningful.
+    """
+    spec = generate_spec(seed)
+    records = ThreadedMachine(build_fuzz_programs(spec)).trace()
+    with TraceWriter(path) as writer:
+        writer.extend(records)
+    chunk_bytes = max(64, writer.stats.raw_bytes // min_chunks)
+    with TraceWriter(path, chunk_bytes=chunk_bytes) as writer:
+        writer.extend(records)
+    with TraceReader(path) as reader:
+        return reader.num_chunks
+
+
+@dataclass
+class ChaosContext:
+    """Shared fixtures for one chaos run."""
+
+    seed: int
+    workdir: str
+    trace_path: str
+    num_chunks: int
+    chunk_records: List[int]
+    baseline: ReplayResult
+    workers: int = 4
+
+    def state_dir(self, name: str) -> str:
+        path = os.path.join(self.workdir, f"state_{name}")
+        os.makedirs(path, exist_ok=True)
+        return path
+
+    def trace_copy(self, name: str) -> str:
+        path = os.path.join(self.workdir, f"{name}.lbatrace")
+        shutil.copyfile(self.trace_path, path)
+        return path
+
+    def target_chunk(self, salt: str) -> int:
+        """Seeded per-scenario chunk choice (stable across runs)."""
+        return random.Random(f"{self.seed}:{salt}").randrange(self.num_chunks)
+
+
+def _policy(
+    timeout: Optional[float] = 30.0,
+    max_attempts: int = 3,
+    fallback: bool = True,
+    bisect: bool = True,
+) -> SupervisorPolicy:
+    """Supervision knobs tightened for fast, bounded chaos runs."""
+    return SupervisorPolicy(
+        timeout_seconds=timeout,
+        max_attempts=max_attempts,
+        backoff_seconds=0.01,
+        backoff_multiplier=2.0,
+        bisect=bisect,
+        in_process_fallback=fallback,
+        poll_seconds=0.005,
+    )
+
+
+def _same_outcome(result: ReplayResult, baseline: ReplayResult) -> None:
+    """Assert a replay is bit-identical to the clean baseline."""
+    _check(result.records == baseline.records,
+           f"records diverged: {result.records} != {baseline.records}")
+    _check(result.dispatch == baseline.dispatch, "dispatch stats diverged")
+    _check(result.accelerator == baseline.accelerator, "accelerator stats diverged")
+    _check(result.reports == baseline.reports, "error reports diverged")
+    _check(not result.skipped_chunks,
+           f"clean-equivalent replay quarantined {result.skipped_chunks}")
+
+
+def _recoverable(ctx: ChaosContext, name: str, kind: str, times: int,
+                 timeout: Optional[float], expect_counter: str) -> Dict[str, object]:
+    """Shared body of the recoverable-fault scenarios."""
+    plan = FaultPlan.from_seed(
+        ctx.state_dir(name), seed=ctx.seed, num_chunks=ctx.num_chunks,
+        kinds=[kind], times=times, hang_seconds=60.0,
+    )
+    result = ParallelReplay(
+        ctx.trace_path, CHAOS_LIFEGUARD, workers=ctx.workers,
+        policy=_policy(timeout=timeout), fault_plan=plan,
+    ).run()
+    _same_outcome(result, ctx.baseline)
+    fired = plan.fired()
+    _check(fired == times, f"expected {times} fault firing(s), saw {fired}")
+    count = result.fault_counters.get(expect_counter, 0)
+    _check(count >= times,
+           f"expected {expect_counter} >= {times}, counters: {result.fault_counters}")
+    _check(result.fault_counters.get("worker_retries", 0) >= times,
+           f"expected retries, counters: {result.fault_counters}")
+    _check(len(result.failures) >= times, "failures list missing attempts")
+    return {
+        "target_chunks": [spec.chunk for spec in plan.specs],
+        "fired": fired,
+        "counters": result.fault_counters,
+        "records": result.records,
+    }
+
+
+def scenario_sigkill_recovers(ctx: ChaosContext) -> Dict[str, object]:
+    """A SIGKILL'd worker is retried; the merge matches the clean run."""
+    return _recoverable(ctx, "sigkill", "sigkill", times=1,
+                        timeout=30.0, expect_counter="worker_crashes")
+
+
+def scenario_exit_recovers(ctx: ChaosContext) -> Dict[str, object]:
+    """An ``os._exit`` worker (no result, no cleanup) is retried."""
+    return _recoverable(ctx, "exit", "exit", times=1,
+                        timeout=30.0, expect_counter="worker_crashes")
+
+
+def scenario_hang_recovers(ctx: ChaosContext) -> Dict[str, object]:
+    """A hung worker hits the attempt timeout, is killed and retried."""
+    return _recoverable(ctx, "hang", "hang", times=1,
+                        timeout=1.0, expect_counter="worker_timeouts")
+
+
+def scenario_io_error_recovers(ctx: ChaosContext) -> Dict[str, object]:
+    """Two transient reader IO errors are retried within max_attempts=3."""
+    return _recoverable(ctx, "io_error", "io_error", times=2,
+                        timeout=30.0, expect_counter="worker_errors")
+
+
+def _poison_plan(ctx: ChaosContext, name: str) -> FaultPlan:
+    chunk = ctx.target_chunk("poison")
+    return FaultPlan.single(ctx.state_dir(name), "sigkill", chunk, times=None)
+
+
+def scenario_poison_degrade(ctx: ChaosContext) -> Dict[str, object]:
+    """A chunk that kills *every* reader is isolated and quarantined.
+
+    Span bisection must pin the blame on exactly the poison chunk, the
+    surviving chunks must replay normally, and the record accounting must
+    be exact.  The in-process fallback is disabled -- replaying a poison
+    chunk in the parent would take the supervisor down with it.
+    """
+    plan = _poison_plan(ctx, "poison_degrade")
+    chunk = plan.specs[0].chunk
+    result = ParallelReplay(
+        ctx.trace_path, CHAOS_LIFEGUARD, workers=ctx.workers,
+        quarantine="degrade",
+        policy=_policy(timeout=10.0, max_attempts=2, fallback=False),
+        fault_plan=plan,
+    ).run()
+    _check([c.chunk for c in result.skipped_chunks] == [chunk],
+           f"expected exactly chunk {chunk} quarantined, got {result.skipped_chunks}")
+    quarantined = result.skipped_chunks[0]
+    _check(quarantined.records == ctx.chunk_records[chunk],
+           f"quarantine accounting wrong: {quarantined.records} != "
+           f"{ctx.chunk_records[chunk]}")
+    _check(result.records == ctx.baseline.records - ctx.chunk_records[chunk],
+           "surviving record count wrong")
+    _check(result.fault_counters.get("bisections", 0) >= 1
+           or len(ParallelReplay(ctx.trace_path, CHAOS_LIFEGUARD,
+                                 workers=ctx.workers).shards()[0]) == 1,
+           f"expected a bisection, counters: {result.fault_counters}")
+    _check(result.degraded and result.skipped_records == quarantined.records,
+           "degraded/skipped_records properties inconsistent")
+    return {
+        "poison_chunk": chunk,
+        "quarantined_records": quarantined.records,
+        "counters": result.fault_counters,
+    }
+
+
+def scenario_poison_strict(ctx: ChaosContext) -> Dict[str, object]:
+    """Under ``strict`` the same poison chunk raises ReplayError naming it."""
+    plan = _poison_plan(ctx, "poison_strict")
+    chunk = plan.specs[0].chunk
+    try:
+        ParallelReplay(
+            ctx.trace_path, CHAOS_LIFEGUARD, workers=ctx.workers,
+            quarantine="strict",
+            policy=_policy(timeout=10.0, max_attempts=2, fallback=False),
+            fault_plan=plan,
+        ).run()
+    except ReplayError as exc:
+        _check(chunk in exc.chunks,
+               f"ReplayError blames chunks {exc.chunks}, not poison chunk {chunk}")
+        _check(exc.trace_path == str(ctx.trace_path), "ReplayError lost the trace path")
+        _check(exc.lifeguard == CHAOS_LIFEGUARD, "ReplayError lost the lifeguard")
+        return {"poison_chunk": chunk, "error": str(exc)}
+    raise ChaosViolation("strict replay of a poison chunk did not raise ReplayError")
+
+
+def scenario_corrupt_degrade(ctx: ChaosContext) -> Dict[str, object]:
+    """Flipped chunk bytes are caught by CRC and quarantined exactly."""
+    path = ctx.trace_copy("corrupt_degrade")
+    chunk = ctx.target_chunk("corrupt")
+    flip_chunk_bytes(path, chunk, seed=ctx.seed)
+    parallel = ParallelReplay(
+        path, CHAOS_LIFEGUARD, workers=ctx.workers,
+        quarantine="degrade", policy=_policy(),
+    ).run()
+    sequential = replay_trace(path, CHAOS_LIFEGUARD, quarantine="degrade")
+    for result in (parallel, sequential):
+        _check([c.chunk for c in result.skipped_chunks] == [chunk],
+               f"expected chunk {chunk} quarantined, got {result.skipped_chunks}")
+        _check(result.skipped_chunks[0].reason == "corrupt", "wrong quarantine reason")
+        _check(result.records == ctx.baseline.records - ctx.chunk_records[chunk],
+               "surviving record count wrong")
+    audit = verify_trace(path)
+    _check([c.index for c in audit.bad_chunks] == [chunk],
+           f"verify_trace blamed {audit.bad_chunks}, expected chunk {chunk}")
+    return {"corrupt_chunk": chunk, "records": parallel.records}
+
+
+def scenario_corrupt_strict(ctx: ChaosContext) -> Dict[str, object]:
+    """Under ``strict`` the corrupt chunk raises, naming itself."""
+    path = ctx.trace_copy("corrupt_strict")
+    chunk = ctx.target_chunk("corrupt")
+    flip_chunk_bytes(path, chunk, seed=ctx.seed)
+    try:
+        replay_trace(path, CHAOS_LIFEGUARD, quarantine="strict")
+    except TraceFormatError as exc:
+        _check(f"chunk {chunk}" in str(exc),
+               f"error does not name chunk {chunk}: {exc}")
+        return {"corrupt_chunk": chunk, "error": str(exc)}
+    raise ChaosViolation("strict replay of a corrupt chunk did not raise")
+
+
+def scenario_truncation_detected(ctx: ChaosContext) -> Dict[str, object]:
+    """A truncated capture is rejected at open, and verify reports it."""
+    path = ctx.trace_copy("truncated")
+    kept = truncate_trace(path, fraction=0.5)
+    try:
+        TraceReader(path)
+    except TraceFormatError as exc:
+        audit = verify_trace(path)
+        _check(audit.file_error is not None and not audit.ok,
+               "verify_trace did not flag the truncated file")
+        return {"kept_bytes": kept, "error": str(exc)}
+    raise ChaosViolation("truncated trace opened without error")
+
+
+#: Scenario registry, in execution order.
+SCENARIOS: Dict[str, Callable[[ChaosContext], Dict[str, object]]] = {
+    "sigkill_recovers": scenario_sigkill_recovers,
+    "exit_recovers": scenario_exit_recovers,
+    "hang_recovers": scenario_hang_recovers,
+    "io_error_recovers": scenario_io_error_recovers,
+    "poison_degrade": scenario_poison_degrade,
+    "poison_strict": scenario_poison_strict,
+    "corrupt_degrade": scenario_corrupt_degrade,
+    "corrupt_strict": scenario_corrupt_strict,
+    "truncation_detected": scenario_truncation_detected,
+}
+
+
+@dataclass
+class ScenarioReport:
+    """Outcome of one chaos scenario."""
+
+    name: str
+    ok: bool
+    seconds: float
+    detail: Dict[str, object] = field(default_factory=dict)
+    failure: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "ok": self.ok,
+            "seconds": round(self.seconds, 3),
+            "detail": self.detail,
+            "failure": self.failure,
+        }
+
+
+def run_chaos(
+    seed: int,
+    workdir: str,
+    scenarios: Optional[Sequence[str]] = None,
+    workers: int = 4,
+) -> Dict[str, object]:
+    """Run the chaos suite; returns a JSON-able report document."""
+    names = list(scenarios) if scenarios else list(SCENARIOS)
+    unknown = [name for name in names if name not in SCENARIOS]
+    if unknown:
+        raise ValueError(f"unknown scenario(s) {unknown}; known: {list(SCENARIOS)}")
+    os.makedirs(workdir, exist_ok=True)
+    trace_path = os.path.join(workdir, "chaos.lbatrace")
+    num_chunks = build_chaos_trace(trace_path, seed)
+    with TraceReader(trace_path) as reader:
+        chunk_records = [info.records for info in reader.chunks]
+    baseline = ParallelReplay(
+        trace_path, CHAOS_LIFEGUARD, workers=workers
+    ).run_sequential()
+    ctx = ChaosContext(
+        seed=seed, workdir=workdir, trace_path=trace_path,
+        num_chunks=num_chunks, chunk_records=chunk_records,
+        baseline=baseline, workers=workers,
+    )
+    reports: List[ScenarioReport] = []
+    for name in names:
+        start = time.perf_counter()
+        try:
+            detail = SCENARIOS[name](ctx)
+            reports.append(ScenarioReport(
+                name=name, ok=True, seconds=time.perf_counter() - start,
+                detail=detail,
+            ))
+        except ChaosViolation as exc:
+            reports.append(ScenarioReport(
+                name=name, ok=False, seconds=time.perf_counter() - start,
+                failure=str(exc),
+            ))
+    return {
+        "seed": seed,
+        "lifeguard": CHAOS_LIFEGUARD,
+        "trace": {
+            "path": trace_path,
+            "chunks": num_chunks,
+            "records": baseline.records,
+        },
+        "scenarios": [report.to_dict() for report in reports],
+        "ok": all(report.ok for report in reports),
+    }

@@ -88,6 +88,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--verify-determinism", action="store_true",
                         help="run every sharded multi-core configuration twice "
                              "(nightly mode)")
+    parser.add_argument("--inject-faults", action="store_true",
+                        help="also damage a copy of each seed's round-trip "
+                             "trace and require degrade-mode replay to "
+                             "quarantine exactly the damaged chunk (strict "
+                             "mode must raise)")
     parser.add_argument("--describe", action="store_true",
                         help="print the seed -> scenario mapping and exit")
     parser.add_argument("--max-failures", type=int, default=10, metavar="N",
@@ -176,7 +181,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         seed_started = time.perf_counter()
         try:
             result = run_case(case, engines=args.engines, lifeguards=args.lifeguards,
-                              cores=args.cores, verify_determinism=args.verify_determinism)
+                              cores=args.cores, verify_determinism=args.verify_determinism,
+                              inject_faults=args.inject_faults)
         except Exception as error:
             if isinstance(error, FuzzFailure):
                 failure = error

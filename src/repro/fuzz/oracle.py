@@ -33,6 +33,7 @@ replayable repro file.
 from __future__ import annotations
 
 import os
+import random
 import tempfile
 import time
 from dataclasses import dataclass, field
@@ -43,9 +44,10 @@ from repro.lba.columnar import ColumnarEngine
 from repro.lba.platform import LBASystem, MonitoringResult
 from repro.lba.multicore import MultiCoreLBASystem
 from repro.lifeguards import ALL_LIFEGUARDS
-from repro.trace.codec import RecordColumns
+from repro.faultinject.corrupt import flip_chunk_bytes
+from repro.trace.codec import RecordColumns, TraceCodecError
 from repro.trace.replay import build_pipeline, replay_trace
-from repro.trace.tracefile import TraceWriter
+from repro.trace.tracefile import TraceFormatError, TraceReader, TraceWriter
 from repro.isa.threads import ThreadedMachine
 from repro.workloads.generator import (
     BugManifest,
@@ -254,6 +256,7 @@ def run_case(
     cores: Sequence[int] = DEFAULT_CORES,
     workdir: Optional[str] = None,
     verify_determinism: bool = False,
+    inject_faults: bool = False,
 ) -> CaseResult:
     """Run one fuzz case through the engine matrix; raise on any divergence.
 
@@ -268,6 +271,10 @@ def run_case(
         verify_determinism: run every sharded (N>1) multi-core configuration
             twice and require bit-identical merged results (the nightly
             block enables this; it doubles the multi-core cost).
+        inject_faults: also round-trip the record stream through a
+            *deliberately damaged* trace copy and require degrade-mode
+            replay to quarantine exactly the damaged chunk (and strict
+            mode to raise) -- damage must never pass silently.
     """
     unknown = set(engines) - set(DEFAULT_ENGINES)
     if unknown:
@@ -298,10 +305,12 @@ def run_case(
 
     trace_path = None
     tempdir = None
-    if "trace_replay" in engines:
+    if "trace_replay" in engines or inject_faults:
         if workdir is None:
             tempdir = tempfile.TemporaryDirectory(prefix="repro-fuzz-")
             workdir = tempdir.name
+
+    if "trace_replay" in engines:
         trace_path = os.path.join(workdir, f"fuzz_{seed}.trace")
 
         def _write_trace():
@@ -310,6 +319,28 @@ def run_case(
                     writer.append(record)
 
         _timed("trace_write", _write_trace)
+
+    damaged_path = None
+    damaged_chunk = None
+    damaged_records = None
+    if inject_faults:
+        damaged_path = os.path.join(workdir, f"fuzz_{seed}_damaged.trace")
+
+        def _write_damaged():
+            # Size chunks off the raw byte count so the damaged trace has
+            # several chunks and the quarantine is a *partial* loss.
+            with TraceWriter(damaged_path) as writer:
+                writer.extend(records)
+            chunk_bytes = max(64, writer.stats.raw_bytes // 6)
+            with TraceWriter(damaged_path, chunk_bytes=chunk_bytes) as writer:
+                writer.extend(records)
+            with TraceReader(damaged_path) as reader:
+                chunk = random.Random(seed).randrange(reader.num_chunks)
+                lost = reader.chunks[chunk].records
+            flip_chunk_bytes(damaged_path, chunk, seed=seed)
+            return chunk, lost
+
+        damaged_chunk, damaged_records = _timed("fault_inject", _write_damaged)
 
     try:
         for name in names:
@@ -340,6 +371,35 @@ def run_case(
                         "AcceleratorStats diverge across the codec round-trip")
                 _expect(replay.records == len(records), seed, "trace_replay", name,
                         f"record count diverges: {replay.records} vs {len(records)}")
+
+            if damaged_path is not None:
+                leg = "fault_replay"
+                degraded = _timed(leg, lambda: replay_trace(
+                    damaged_path, lifeguard_cls, quarantine="degrade"))
+                _expect(
+                    [c.chunk for c in degraded.skipped_chunks] == [damaged_chunk],
+                    seed, leg, name,
+                    f"degrade-mode replay quarantined "
+                    f"{[c.chunk for c in degraded.skipped_chunks]}, "
+                    f"expected exactly damaged chunk {damaged_chunk}",
+                )
+                _expect(degraded.skipped_records == damaged_records, seed, leg, name,
+                        f"quarantine accounting diverges: {degraded.skipped_records} "
+                        f"vs {damaged_records} damaged records")
+                _expect(degraded.records == len(records) - damaged_records,
+                        seed, leg, name,
+                        f"surviving record count diverges: {degraded.records} vs "
+                        f"{len(records) - damaged_records}")
+
+                def _strict_raises():
+                    try:
+                        replay_trace(damaged_path, lifeguard_cls, quarantine="strict")
+                    except (TraceFormatError, TraceCodecError):
+                        return True
+                    return False
+
+                _expect(_timed(leg, _strict_raises), seed, leg, name,
+                        "strict replay of the damaged trace did not raise")
 
             live: Optional[MonitoringResult] = None
             if "live" in engines:
@@ -430,6 +490,7 @@ def run_seed(
     cores: Sequence[int] = DEFAULT_CORES,
     config: Optional[FuzzConfig] = None,
     verify_determinism: bool = False,
+    inject_faults: bool = False,
 ) -> CaseResult:
     """Convenience: build the case for ``seed`` and run the oracle."""
     return run_case(
@@ -438,4 +499,5 @@ def run_seed(
         lifeguards=lifeguards,
         cores=cores,
         verify_determinism=verify_determinism,
+        inject_faults=inject_faults,
     )

@@ -25,6 +25,7 @@ trace-event JSON (Perfetto-loadable) and folded-stack text.
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, prometheus_text
 from repro.obs.pipeline import (
     REQUIRED_ACCELERATOR_COUNTERS,
+    REQUIRED_REPLAY_COUNTERS,
     collect_pipeline,
     snapshot_document,
     validate_snapshot,
@@ -39,6 +40,7 @@ __all__ = [
     "MetricsRegistry",
     "OBS",
     "REQUIRED_ACCELERATOR_COUNTERS",
+    "REQUIRED_REPLAY_COUNTERS",
     "SpanTracer",
     "collect_pipeline",
     "disable",

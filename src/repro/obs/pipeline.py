@@ -49,6 +49,21 @@ REQUIRED_ACCELERATOR_COUNTERS = (
     "mtlb.misses",
 )
 
+#: Fault-tolerance counters every sharded-replay snapshot must carry --
+#: the supervised-replay health story (retries, crashes, timeouts,
+#: bisections, quarantine accounting).  Zero on a clean run, but always
+#: present so dashboards and the CI schema gate never miss a regression.
+REQUIRED_REPLAY_COUNTERS = (
+    "replay.worker_retries",
+    "replay.worker_crashes",
+    "replay.worker_timeouts",
+    "replay.worker_errors",
+    "replay.bisections",
+    "replay.fallbacks_inprocess",
+    "replay.chunks_quarantined",
+    "replay.records_quarantined",
+)
+
 
 class PipelineRecorder:
     """Preallocated hot-loop accumulators, flushed to a registry later.
@@ -182,6 +197,8 @@ def collect_pipeline(
     if accelerator is not None:
         for name in REQUIRED_ACCELERATOR_COUNTERS:
             registry.counter(name)
+        for name in REQUIRED_REPLAY_COUNTERS:
+            registry.counter(name)
         acc = accelerator.stats
         registry.counter("accelerator.records_processed").inc(acc.records_processed)
         registry.counter("accelerator.instruction_records").inc(acc.instruction_records)
@@ -308,9 +325,22 @@ def collect_sharded_replay(registry: MetricsRegistry, result, details) -> Metric
     """
     for name in REQUIRED_ACCELERATOR_COUNTERS:
         registry.counter(name)
+    for name in REQUIRED_REPLAY_COUNTERS:
+        registry.counter(name)
     registry.counter("replay.chunks").inc(result.chunks)
     registry.counter("replay.records").inc(result.records)
     registry.gauge("replay.workers").set(result.workers)
+    # Supervision outcome: every fault counter the supervisor bumped, plus
+    # quarantine accounting (``replay.`` prefix keeps one flat namespace).
+    counters = getattr(result, "fault_counters", None) or {}
+    for name, value in counters.items():
+        registry.counter(f"replay.{name}").inc(value)
+    skipped = getattr(result, "skipped_chunks", None) or []
+    if skipped and "chunks_quarantined" not in counters:
+        registry.counter("replay.chunks_quarantined").inc(len(skipped))
+        registry.counter("replay.records_quarantined").inc(
+            sum(chunk.records for chunk in skipped)
+        )
     disp = result.dispatch
     registry.counter("dispatch.records_consumed").inc(disp.records_consumed)
     registry.counter("dispatch.events_handled").inc(disp.events_handled)
@@ -388,6 +418,9 @@ def validate_snapshot(document: Dict[str, object]) -> List[str]:
         for name in REQUIRED_ACCELERATOR_COUNTERS:
             if name not in counters:
                 problems.append(f"missing required accelerator counter {name!r}")
+        for name in REQUIRED_REPLAY_COUNTERS:
+            if name not in counters:
+                problems.append(f"missing required replay counter {name!r}")
     histograms = document.get("histograms")
     if isinstance(histograms, dict):
         for name, data in histograms.items():

@@ -12,8 +12,11 @@ log bytes real:
   re-analysed many times;
 * :mod:`repro.trace.replay` -- offline replay of a stored trace through the
   acceleration pipeline and a lifeguard, including sharded parallel replay
-  across ``multiprocessing`` workers and multi-trace replay of the
-  per-core trace sets the multi-core platform captures.
+  across supervised ``multiprocessing`` workers and multi-trace replay of
+  the per-core trace sets the multi-core platform captures;
+* :mod:`repro.trace.supervisor` -- the fault-tolerant shard supervision
+  loop (per-attempt timeouts, bounded retry with backoff, span bisection
+  to isolate poison chunks, quarantine accounting).
 """
 
 from repro.trace.codec import (
@@ -27,16 +30,27 @@ from repro.trace.replay import (
     MultiTraceReplay,
     ParallelReplay,
     ReplayResult,
+    ShardTask,
     default_workers,
     replay_records,
     replay_trace,
 )
+from repro.trace.supervisor import (
+    QUARANTINE_POLICIES,
+    QuarantinedChunk,
+    ReplayError,
+    ShardFailure,
+    SupervisorPolicy,
+)
 from repro.trace.tracefile import (
+    ChunkAudit,
     ChunkInfo,
+    TraceAudit,
     TraceFormatError,
     TraceReader,
     TraceStats,
     TraceWriter,
+    verify_trace,
 )
 
 __all__ = [
@@ -45,15 +59,24 @@ __all__ = [
     "TraceCodecError",
     "encode_records",
     "decode_records",
+    "ChunkAudit",
     "ChunkInfo",
+    "TraceAudit",
     "TraceFormatError",
     "TraceReader",
     "TraceStats",
     "TraceWriter",
+    "verify_trace",
     "MultiTraceReplay",
     "ParallelReplay",
     "ReplayResult",
+    "ShardTask",
     "default_workers",
     "replay_records",
     "replay_trace",
+    "QUARANTINE_POLICIES",
+    "QuarantinedChunk",
+    "ReplayError",
+    "ShardFailure",
+    "SupervisorPolicy",
 ]

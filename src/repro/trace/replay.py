@@ -18,16 +18,25 @@ throughput -- the same decomposition the paper uses to spread monitoring
 across multiple lifeguard cores.  ``run_sequential()`` applies the exact
 same sharding in-process, so parallel and sequential sharded replays are
 bit-for-bit comparable.
+
+Sharded replay is *supervised* (see :mod:`repro.trace.supervisor`): worker
+crashes, hangs and reader IO errors are retried with exponential backoff,
+repeatedly-failing spans are bisected to isolate poison chunks, and every
+failure is recorded on the merged result.  Damaged chunks are handled per
+the ``quarantine`` policy: ``strict`` (default) raises
+:class:`~repro.trace.tracefile.TraceFormatError` /
+:class:`~repro.trace.supervisor.ReplayError` naming the chunk, while
+``degrade`` skips the chunk, keeps replaying, and reports exact
+skipped-chunk/record accounting in :attr:`ReplayResult.skipped_chunks`.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import pickle
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Type, Union
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Type, Union
 
 from repro.core.accelerator import AcceleratorConfig, AcceleratorStats, EventAccelerator
 from repro.core.stats import sum_stats
@@ -38,7 +47,20 @@ from repro.lifeguards import ALL_LIFEGUARDS
 from repro.lifeguards.base import Lifeguard
 from repro.lifeguards.reports import ErrorReport, merge_reports
 from repro.obs.runtime import OBS
-from repro.trace.tracefile import TraceReader
+from repro.trace.supervisor import (
+    QUARANTINE_POLICIES,
+    QuarantinedChunk,
+    ReplayError,
+    ShardFailure,
+    ShardSupervisor,
+    SupervisorPolicy,
+)
+from repro.trace.codec import TraceCodecError
+from repro.trace.tracefile import TraceFormatError, TraceReader
+
+#: Exceptions that mean "this chunk's bytes are damaged" (as opposed to an
+#: environmental IO failure): eligible for quarantine under ``degrade``.
+_CHUNK_DAMAGE_ERRORS = (TraceFormatError, TraceCodecError)
 
 LifeguardSpec = Union[str, Type[Lifeguard]]
 
@@ -107,6 +129,17 @@ class ReplayResult:
     #: Per-worker wall-time breakdowns (setup/decode/dispatch/serialize/IPC);
     #: populated by sharded replays when timing collection is on.
     worker_timings: List[dict] = field(default_factory=list)
+    #: Chunks excluded under ``quarantine="degrade"`` (corrupt, poison or
+    #: retry-exhausted), sorted by (trace_path, chunk), with exact record
+    #: accounting.  Always empty under ``strict``.
+    skipped_chunks: List[QuarantinedChunk] = field(default_factory=list)
+    #: Every failed shard attempt the supervisor observed (including ones
+    #: that later succeeded on retry).
+    failures: List[ShardFailure] = field(default_factory=list)
+    #: Supervision counters (worker_retries, worker_timeouts, worker_crashes,
+    #: worker_errors, bisections, bisect_probes, fallbacks_inprocess,
+    #: chunks_quarantined, records_quarantined).
+    fault_counters: Dict[str, int] = field(default_factory=dict)
 
     @property
     def errors_detected(self) -> int:
@@ -119,6 +152,24 @@ class ReplayResult:
         if self.wall_seconds <= 0:
             return 0.0
         return self.records / self.wall_seconds
+
+    @property
+    def skipped_records(self) -> int:
+        """Records lost to quarantined chunks (0 for a clean replay)."""
+        return sum(chunk.records for chunk in self.skipped_chunks)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any chunk was quarantined instead of replayed."""
+        return bool(self.skipped_chunks)
+
+
+def _validate_quarantine(policy: str) -> str:
+    if policy not in QUARANTINE_POLICIES:
+        raise ValueError(
+            f"quarantine must be one of {QUARANTINE_POLICIES}, got {policy!r}"
+        )
+    return policy
 
 
 def _finish_pipeline(
@@ -148,13 +199,20 @@ def replay_trace(
     trace_path: str,
     lifeguard: LifeguardSpec,
     config: Optional[SystemConfig] = None,
+    quarantine: str = "strict",
 ) -> ReplayResult:
     """Sequentially replay a whole stored trace through one lifeguard.
 
     This is the faithful single-consumer replay: one lifeguard instance
     observes every record in order, so its reports and delivered-event
     counts match the live monitored run exactly.
+
+    ``quarantine="strict"`` (default) raises
+    :class:`~repro.trace.tracefile.TraceFormatError` on the first damaged
+    chunk; ``"degrade"`` skips damaged chunks and records them in
+    :attr:`ReplayResult.skipped_chunks`.
     """
+    _validate_quarantine(quarantine)
     lifeguard_cls = _resolve_lifeguard(lifeguard)
     instance = lifeguard_cls()
     tracer = OBS.tracer if OBS.enabled else None
@@ -163,9 +221,10 @@ def replay_trace(
     engine = ColumnarEngine(dispatcher)
     if tracer is not None:
         tracer.add("replay.setup", "replay", start, time.perf_counter() - start)
+    skipped: List[QuarantinedChunk] = []
     with TraceReader(trace_path) as reader:
         chunks = reader.num_chunks
-        if tracer is None:
+        if tracer is None and quarantine == "strict":
             for index in range(chunks):
                 # One column-decoded chunk feeds one run-grouped columnar
                 # dispatch call (bit-identical to the scalar consume loop).
@@ -173,14 +232,26 @@ def replay_trace(
         else:
             for index in range(chunks):
                 t_decode = time.perf_counter()
-                columns = reader.read_chunk_columns(index)
+                try:
+                    columns = reader.read_chunk_columns(index)
+                except _CHUNK_DAMAGE_ERRORS as exc:
+                    if quarantine != "degrade":
+                        raise
+                    skipped.append(QuarantinedChunk(
+                        trace_path=str(trace_path), chunk=index,
+                        records=reader.chunks[index].records,
+                        reason="corrupt", detail=str(exc),
+                    ))
+                    continue
                 t_dispatch = time.perf_counter()
-                tracer.add("replay.decode", "replay", t_decode, t_dispatch - t_decode)
+                if tracer is not None:
+                    tracer.add("replay.decode", "replay", t_decode, t_dispatch - t_decode)
                 engine.consume_columns(columns)
-                tracer.add(
-                    "replay.dispatch", "replay", t_dispatch,
-                    time.perf_counter() - t_dispatch,
-                )
+                if tracer is not None:
+                    tracer.add(
+                        "replay.dispatch", "replay", t_dispatch,
+                        time.perf_counter() - t_dispatch,
+                    )
     t_finish = time.perf_counter()
     dispatch, accel, reports = _finish_pipeline(instance, accelerator, dispatcher)
     if OBS.enabled:
@@ -192,6 +263,11 @@ def replay_trace(
             registry = OBS.registry
             registry.counter("replay.chunks").inc(chunks)
             registry.counter("replay.records").inc(dispatch.records_consumed)
+            if skipped:
+                registry.counter("replay.chunks_quarantined").inc(len(skipped))
+                registry.counter("replay.records_quarantined").inc(
+                    sum(chunk.records for chunk in skipped)
+                )
             collect_pipeline(
                 registry,
                 dispatcher=dispatcher,
@@ -208,6 +284,7 @@ def replay_trace(
         accelerator=accel,
         reports=reports,
         wall_seconds=time.perf_counter() - start,
+        skipped_chunks=skipped,
     )
 
 
@@ -229,6 +306,32 @@ def _contiguous_spans(num_chunks: int, workers: int) -> List[List[int]]:
     return spans
 
 
+@dataclass(frozen=True)
+class ShardTask:
+    """Picklable unit of supervised replay work: one chunk span of one trace.
+
+    The frozen-dataclass shape is what lets the supervisor derive probe and
+    final tasks with :func:`dataclasses.replace` during span bisection.
+    """
+
+    trace_path: str
+    lifeguard: str
+    config: Optional[SystemConfig]
+    #: Contiguous chunk indices this shard replays, in order.
+    chunks: Tuple[int, ...]
+    #: Record count per chunk (parallel to ``chunks``) for quarantine
+    #: accounting without re-opening the trace in the parent.
+    chunk_records: Tuple[int, ...]
+    collect_timing: bool = False
+    quarantine: str = "strict"
+    #: Chunks to quarantine without reading (poison chunks isolated by span
+    #: bisection -- reading them is what killed the workers).
+    skip: FrozenSet[int] = frozenset()
+    #: Optional :class:`repro.faultinject.FaultPlan`, fired once per chunk
+    #: read; ``None`` in production.
+    fault_plan: Optional[object] = None
+
+
 @dataclass
 class _ShardResult:
     """Picklable result of replaying one contiguous span of chunks."""
@@ -237,6 +340,8 @@ class _ShardResult:
     dispatch: DispatchStats
     accelerator: AcceleratorStats
     reports: List[ErrorReport]
+    #: chunks this worker quarantined (damage found, or skip-set poison)
+    skipped: List[QuarantinedChunk] = field(default_factory=list)
     #: wall-time breakdown of this shard (only when timing collection is on)
     timing: Optional[dict] = None
     #: accelerator/mapper/shadow counter detail (only when collection is on):
@@ -245,77 +350,76 @@ class _ShardResult:
     detail: Optional[dict] = None
 
 
-def _replay_shard(args) -> _ShardResult:
-    """Worker entry point: replay the given chunk indices with a fresh lifeguard.
+def _replay_shard(task: ShardTask) -> _ShardResult:
+    """Worker entry point: replay one shard task with a fresh lifeguard.
 
-    ``args`` is ``(trace_path, lifeguard_name, config, chunk_indices)``
-    with an optional fifth ``collect_timing`` flag (older 4-tuples still
-    work, so pickled work items stay compatible).
-    """
-    trace_path, lifeguard_name, config, chunk_indices = args[:4]
-    if len(args) > 4 and args[4]:
-        return _replay_shard_timed(trace_path, lifeguard_name, config, chunk_indices)
-    lifeguard = ALL_LIFEGUARDS[lifeguard_name]()
-    accelerator, dispatcher = build_pipeline(lifeguard, config)
-    engine = ColumnarEngine(dispatcher)
-    with TraceReader(trace_path) as reader:
-        for index in chunk_indices:
-            # One column-decoded chunk feeds one columnar dispatch call.
-            engine.consume_columns(reader.read_chunk_columns(index))
-    dispatch, accel, reports = _finish_pipeline(lifeguard, accelerator, dispatcher)
-    return _ShardResult(
-        records=dispatch.records_consumed,
-        dispatch=dispatch,
-        accelerator=accel,
-        reports=reports,
-    )
-
-
-def _replay_shard_timed(
-    trace_path: str,
-    lifeguard_name: str,
-    config: Optional[SystemConfig],
-    chunk_indices: Sequence[int],
-) -> _ShardResult:
-    """:func:`_replay_shard` with a per-stage wall-time breakdown.
-
+    Runs in a supervised child process (or in-process for sequential and
+    fallback replays).  Under ``quarantine="degrade"`` a damaged chunk is
+    skipped and recorded instead of raising; chunks in ``task.skip`` are
+    quarantined without being read at all.  When timing collection is on,
     ``monotonic`` start/end are system-wide comparable on Linux, so the
     parent can line worker lifetimes up against its own clock; the
-    serialize cost is measured by pickling the result exactly as the pool's
+    serialize cost is measured by pickling the result exactly as the IPC
     return path will (the timing dict itself rides along un-measured).
     """
     mono_start = time.monotonic()
     wall_start = time.perf_counter()
-    lifeguard = ALL_LIFEGUARDS[lifeguard_name]()
-    accelerator, dispatcher = build_pipeline(lifeguard, config)
+    plan = task.fault_plan
+    degrade = task.quarantine == "degrade"
+    lifeguard = ALL_LIFEGUARDS[task.lifeguard]()
+    accelerator, dispatcher = build_pipeline(lifeguard, task.config)
     engine = ColumnarEngine(dispatcher)
     setup_s = time.perf_counter() - wall_start
     decode_s = 0.0
     dispatch_s = 0.0
-    with TraceReader(trace_path) as reader:
-        for index in chunk_indices:
+    skipped: List[QuarantinedChunk] = []
+    with TraceReader(task.trace_path) as reader:
+        for position, index in enumerate(task.chunks):
+            if index in task.skip:
+                skipped.append(QuarantinedChunk(
+                    trace_path=task.trace_path, chunk=index,
+                    records=task.chunk_records[position], reason="poison",
+                    detail="isolated by span bisection",
+                ))
+                continue
+            if plan is not None:
+                plan.fire(index)
             t_decode = time.perf_counter()
-            columns = reader.read_chunk_columns(index)
+            try:
+                columns = reader.read_chunk_columns(index)
+            except _CHUNK_DAMAGE_ERRORS as exc:
+                if not degrade:
+                    raise
+                skipped.append(QuarantinedChunk(
+                    trace_path=task.trace_path, chunk=index,
+                    records=task.chunk_records[position], reason="corrupt",
+                    detail=str(exc),
+                ))
+                continue
             t_dispatch = time.perf_counter()
             decode_s += t_dispatch - t_decode
+            # One column-decoded chunk feeds one columnar dispatch call.
             engine.consume_columns(columns)
             dispatch_s += time.perf_counter() - t_dispatch
     dispatch, accel, reports = _finish_pipeline(lifeguard, accelerator, dispatcher)
-    from repro.obs.pipeline import shard_detail
-
     result = _ShardResult(
         records=dispatch.records_consumed,
         dispatch=dispatch,
         accelerator=accel,
         reports=reports,
-        detail=shard_detail(accelerator, lifeguard),
+        skipped=skipped,
     )
+    if not task.collect_timing:
+        return result
+    from repro.obs.pipeline import shard_detail
+
+    result.detail = shard_detail(accelerator, lifeguard)
     t_serialize = time.perf_counter()
     pickle.dumps(result)
     serialize_s = time.perf_counter() - t_serialize
     result.timing = {
         "pid": os.getpid(),
-        "chunks": len(chunk_indices),
+        "chunks": len(task.chunks),
         "records": result.records,
         "setup_s": setup_s,
         "decode_s": decode_s,
@@ -363,14 +467,71 @@ def _worker_timings(shard_results: List[_ShardResult], elapsed: float) -> List[d
     return timings
 
 
+def _merge_results(
+    lifeguard_name: str,
+    num_chunks: int,
+    shard_results: List[_ShardResult],
+    workers: int,
+    elapsed: float,
+    outcome=None,
+) -> ReplayResult:
+    """Fold shard results (and an optional supervision outcome) into one
+    :class:`ReplayResult`.
+
+    ``sum_stats`` is field-wise and ``merge_reports`` sorts
+    deterministically, so the merge is insensitive to shard completion
+    order -- the property that makes parallel and sequential replays
+    bit-identical.  Handles the empty-trace case (no shards) by producing
+    zeroed stats.
+    """
+    dispatch = sum_stats(DispatchStats, [s.dispatch for s in shard_results])
+    accel = sum_stats(AcceleratorStats, [s.accelerator for s in shard_results])
+    reports = merge_reports(*[s.reports for s in shard_results])
+    skipped = [chunk for shard in shard_results for chunk in shard.skipped]
+    failures: List[ShardFailure] = []
+    counters: Dict[str, int] = {}
+    if outcome is not None:
+        skipped.extend(outcome.quarantined)
+        failures = list(outcome.failures)
+        counters = dict(outcome.counters)
+    skipped.sort(key=lambda chunk: (chunk.trace_path, chunk.chunk))
+    if skipped:
+        counters["chunks_quarantined"] = len(skipped)
+        counters["records_quarantined"] = sum(c.records for c in skipped)
+    result = ReplayResult(
+        lifeguard=lifeguard_name,
+        records=sum(s.records for s in shard_results),
+        chunks=num_chunks,
+        workers=workers,
+        dispatch=dispatch,
+        accelerator=accel,
+        reports=reports,
+        wall_seconds=elapsed,
+        worker_timings=_worker_timings(shard_results, elapsed),
+        skipped_chunks=skipped,
+        failures=failures,
+        fault_counters=counters,
+    )
+    _collect_telemetry(result, shard_results)
+    return result
+
+
 class ParallelReplay:
-    """Shard a trace's chunks across workers, each owning a lifeguard.
+    """Shard a trace's chunks across supervised workers, each owning a lifeguard.
 
     Workers receive contiguous chunk spans (chunk boundaries are codec
     reset points, so any span decodes independently).  Per-shard stats are
     summed field-wise and reports are merged deterministically, so
     ``run()`` with N processes and ``run_sequential()`` produce identical
     results.
+
+    ``run()`` executes shards under a :class:`ShardSupervisor`: crashed,
+    hung or IO-failing workers are retried with backoff, persistent
+    failures are bisected down to the poison chunk, and -- under
+    ``quarantine="degrade"`` -- damaged chunks are skipped with exact
+    accounting instead of failing the replay.  ``policy`` tunes the
+    supervision knobs; ``fault_plan`` injects deterministic faults into the
+    workers (testing only).
     """
 
     def __init__(
@@ -380,22 +541,38 @@ class ParallelReplay:
         config: Optional[SystemConfig] = None,
         workers: Optional[int] = None,
         collect_timing: bool = False,
+        quarantine: str = "strict",
+        policy: Optional[SupervisorPolicy] = None,
+        fault_plan=None,
     ) -> None:
-        self.trace_path = trace_path
+        self.trace_path = str(trace_path)
         self.lifeguard_cls = _resolve_lifeguard(lifeguard)
         self.config = config
         self.workers = _resolve_workers(workers)
         self.collect_timing = collect_timing
+        self.quarantine = _validate_quarantine(quarantine)
+        self.policy = policy
+        self.fault_plan = fault_plan
         with TraceReader(trace_path) as reader:
             self.num_chunks = reader.num_chunks
+            self._chunk_records = tuple(info.records for info in reader.chunks)
 
     def shards(self) -> List[List[int]]:
         """Contiguous chunk-index spans, one per worker (empty spans dropped)."""
         return _contiguous_spans(self.num_chunks, self.workers)
 
-    def _shard_args(self, collect_timing: bool = False):
+    def _shard_tasks(self, collect_timing: bool = False) -> List[ShardTask]:
         return [
-            (self.trace_path, self.lifeguard_cls.name, self.config, span, collect_timing)
+            ShardTask(
+                trace_path=self.trace_path,
+                lifeguard=self.lifeguard_cls.name,
+                config=self.config,
+                chunks=tuple(span),
+                chunk_records=tuple(self._chunk_records[i] for i in span),
+                collect_timing=collect_timing,
+                quarantine=self.quarantine,
+                fault_plan=self.fault_plan,
+            )
             for span in self.shards()
         ]
 
@@ -403,39 +580,41 @@ class ParallelReplay:
         """Timing is on when requested explicitly or telemetry is enabled."""
         return self.collect_timing or OBS.enabled
 
-    def _merge(self, shard_results: List[_ShardResult], workers: int, elapsed: float) -> ReplayResult:
-        dispatch = sum_stats(DispatchStats, [s.dispatch for s in shard_results])
-        accel = sum_stats(AcceleratorStats, [s.accelerator for s in shard_results])
-        reports = merge_reports(*[s.reports for s in shard_results])
-        result = ReplayResult(
-            lifeguard=self.lifeguard_cls.name,
-            records=sum(s.records for s in shard_results),
-            chunks=self.num_chunks,
-            workers=workers,
-            dispatch=dispatch,
-            accelerator=accel,
-            reports=reports,
-            wall_seconds=elapsed,
-            worker_timings=_worker_timings(shard_results, elapsed),
-        )
-        _collect_telemetry(result, shard_results)
-        return result
-
     def run_sequential(self) -> ReplayResult:
         """Replay every shard in-process (reference for the parallel path)."""
         start = time.perf_counter()
-        results = [_replay_shard(args) for args in self._shard_args(self._collect_timing())]
-        return self._merge(results, workers=1, elapsed=time.perf_counter() - start)
+        results = [_replay_shard(task) for task in self._shard_tasks(self._collect_timing())]
+        return _merge_results(
+            self.lifeguard_cls.name, self.num_chunks, results,
+            workers=1, elapsed=time.perf_counter() - start,
+        )
 
     def run(self) -> ReplayResult:
-        """Replay shards across worker processes and merge the results."""
-        args = self._shard_args(self._collect_timing())
-        if len(args) <= 1:
+        """Replay shards across supervised worker processes and merge.
+
+        Raises :class:`ReplayError` for unrecoverable shards under
+        ``strict``; never leaks child processes, including on
+        ``KeyboardInterrupt``.
+        """
+        tasks = self._shard_tasks(self._collect_timing())
+        if len(tasks) <= 1 and self.policy is None and self.fault_plan is None:
+            # Nothing to supervise: zero or one shard with default policy
+            # runs in-process (identical semantics, no spawn cost).
             return self.run_sequential()
         start = time.perf_counter()
-        with multiprocessing.Pool(processes=len(args)) as pool:
-            results = pool.map(_replay_shard, args)
-        return self._merge(results, workers=len(args), elapsed=time.perf_counter() - start)
+        supervisor = ShardSupervisor(
+            tasks,
+            _replay_shard,
+            policy=self.policy,
+            max_parallel=min(self.workers, max(1, len(tasks))),
+            lifeguard=self.lifeguard_cls.name,
+        )
+        outcome = supervisor.run()
+        return _merge_results(
+            self.lifeguard_cls.name, self.num_chunks, outcome.results,
+            workers=max(1, len(tasks)), elapsed=time.perf_counter() - start,
+            outcome=outcome,
+        )
 
 
 class MultiTraceReplay:
@@ -459,6 +638,9 @@ class MultiTraceReplay:
         config: Optional[SystemConfig] = None,
         workers: Optional[int] = None,
         collect_timing: bool = False,
+        quarantine: str = "strict",
+        policy: Optional[SupervisorPolicy] = None,
+        fault_plan=None,
     ) -> None:
         if not trace_paths:
             raise ValueError("at least one trace path is required")
@@ -467,57 +649,69 @@ class MultiTraceReplay:
         self.config = config
         self.workers = _resolve_workers(workers)
         self.collect_timing = collect_timing
+        self.quarantine = _validate_quarantine(quarantine)
+        self.policy = policy
+        self.fault_plan = fault_plan
         self.chunks_per_trace: List[int] = []
+        self._chunk_records: List[Tuple[int, ...]] = []
         for path in self.trace_paths:
             with TraceReader(path) as reader:
                 self.chunks_per_trace.append(reader.num_chunks)
+                self._chunk_records.append(
+                    tuple(info.records for info in reader.chunks)
+                )
         self.num_chunks = sum(self.chunks_per_trace)
 
-    def _work_items(self, collect_timing: bool = False):
-        """One ``_replay_shard`` argument tuple per (file, contiguous span)."""
-        items = []
-        for path, num_chunks in zip(self.trace_paths, self.chunks_per_trace):
+    def _work_tasks(self, collect_timing: bool = False) -> List[ShardTask]:
+        """One :class:`ShardTask` per (file, contiguous span)."""
+        tasks = []
+        for path, num_chunks, records in zip(
+            self.trace_paths, self.chunks_per_trace, self._chunk_records
+        ):
             for span in _contiguous_spans(num_chunks, self.workers):
-                items.append(
-                    (path, self.lifeguard_cls.name, self.config, span, collect_timing)
-                )
-        return items
+                tasks.append(ShardTask(
+                    trace_path=path,
+                    lifeguard=self.lifeguard_cls.name,
+                    config=self.config,
+                    chunks=tuple(span),
+                    chunk_records=tuple(records[i] for i in span),
+                    collect_timing=collect_timing,
+                    quarantine=self.quarantine,
+                    fault_plan=self.fault_plan,
+                ))
+        return tasks
 
     def _collect_timing(self) -> bool:
         """Timing is on when requested explicitly or telemetry is enabled."""
         return self.collect_timing or OBS.enabled
 
-    def _merge(self, results: List[_ShardResult], workers: int, elapsed: float) -> ReplayResult:
-        dispatch = sum_stats(DispatchStats, [s.dispatch for s in results])
-        accel = sum_stats(AcceleratorStats, [s.accelerator for s in results])
-        reports = merge_reports(*[s.reports for s in results])
-        merged = ReplayResult(
-            lifeguard=self.lifeguard_cls.name,
-            records=sum(s.records for s in results),
-            chunks=self.num_chunks,
-            workers=workers,
-            dispatch=dispatch,
-            accelerator=accel,
-            reports=reports,
-            wall_seconds=elapsed,
-            worker_timings=_worker_timings(results, elapsed),
-        )
-        _collect_telemetry(merged, results)
-        return merged
-
     def run_sequential(self) -> ReplayResult:
         """Replay every work item in-process (reference for the parallel path)."""
         start = time.perf_counter()
-        results = [_replay_shard(item) for item in self._work_items(self._collect_timing())]
-        return self._merge(results, workers=1, elapsed=time.perf_counter() - start)
+        results = [_replay_shard(task) for task in self._work_tasks(self._collect_timing())]
+        return _merge_results(
+            self.lifeguard_cls.name, self.num_chunks, results,
+            workers=1, elapsed=time.perf_counter() - start,
+        )
 
     def run(self) -> ReplayResult:
-        """Replay work items across worker processes and merge the results."""
-        items = self._work_items(self._collect_timing())
-        if len(items) <= 1 or self.workers <= 1:
+        """Replay work items across supervised worker processes and merge."""
+        tasks = self._work_tasks(self._collect_timing())
+        supervise_anyway = self.policy is not None or self.fault_plan is not None
+        if (len(tasks) <= 1 or self.workers <= 1) and not supervise_anyway:
             return self.run_sequential()
         start = time.perf_counter()
-        processes = min(self.workers, len(items))
-        with multiprocessing.Pool(processes=processes) as pool:
-            results = pool.map(_replay_shard, items)
-        return self._merge(results, workers=processes, elapsed=time.perf_counter() - start)
+        processes = min(self.workers, max(1, len(tasks)))
+        supervisor = ShardSupervisor(
+            tasks,
+            _replay_shard,
+            policy=self.policy,
+            max_parallel=processes,
+            lifeguard=self.lifeguard_cls.name,
+        )
+        outcome = supervisor.run()
+        return _merge_results(
+            self.lifeguard_cls.name, self.num_chunks, outcome.results,
+            workers=processes, elapsed=time.perf_counter() - start,
+            outcome=outcome,
+        )

@@ -7,6 +7,7 @@ File layout (all integers little-endian)::
     chunks   : concatenated chunk payloads (zlib-compressed when flag set)
     index    : magic "INDX" | u32 num_chunks
                | per chunk: u64 offset | u32 stored_len | u32 raw_len | u32 records
+                            | u32 crc32 (version >= 2)
                | u64 total_records | u64 instructions | u64 annotations | u64 raw_bytes
 
 Each chunk is an independently decodable unit: the record codec's delta
@@ -15,6 +16,14 @@ worker) can seek straight to any chunk via the index without touching the
 bytes before it.  Chunks are closed when their raw payload reaches the
 configured ``chunk_bytes`` target, so all chunks of a trace have roughly
 the same size (the last one may be short).
+
+Version 2 adds a CRC32 of each chunk's *stored* bytes to the index entry,
+verified on every chunk read, so payload corruption is detected before the
+decompressor or codec ever see the damage (and detected at all for
+uncompressed traces, whose payloads would otherwise often still "parse").
+Version 1 traces remain readable; their chunks simply carry no checksum.
+The index totals are cross-checked against the per-chunk entries on open,
+so a damaged footer can never silently misreport the record population.
 """
 
 from __future__ import annotations
@@ -24,7 +33,7 @@ import struct
 import time
 import zlib
 from dataclasses import dataclass, field
-from typing import Iterator, List, Union
+from typing import Iterator, List, Optional, Union
 
 from repro.core.events import AnnotationRecord, InstructionRecord
 from repro.obs.runtime import OBS
@@ -40,12 +49,15 @@ Record = Union[InstructionRecord, AnnotationRecord]
 
 _MAGIC = b"LBATRC01"
 _INDEX_MAGIC = b"INDX"
-_VERSION = 1
+_VERSION = 2
+#: Oldest trace version this reader still understands (v1 has no CRCs).
+_MIN_VERSION = 1
 _FLAG_ZLIB = 1 << 0
 
 _HEADER = struct.Struct("<8sHHIQ")
 _INDEX_HEADER = struct.Struct("<4sI")
-_INDEX_ENTRY = struct.Struct("<QIII")
+_INDEX_ENTRY_V1 = struct.Struct("<QIII")
+_INDEX_ENTRY = struct.Struct("<QIIII")
 _INDEX_TOTALS = struct.Struct("<QQQQ")
 
 #: Default raw payload size at which a chunk is closed.
@@ -65,6 +77,9 @@ class ChunkInfo:
     stored_len: int
     raw_len: int
     records: int
+    #: CRC32 of the stored (possibly compressed) payload; ``None`` for
+    #: version-1 traces, which predate per-chunk checksums.
+    crc: Optional[int] = None
 
 
 @dataclass
@@ -172,6 +187,7 @@ class TraceWriter:
                 stored_len=len(stored),
                 raw_len=raw_len,
                 records=self._chunk_records,
+                crc=zlib.crc32(stored) & 0xFFFFFFFF,
             )
         )
         self.stats.stored_bytes += len(stored)
@@ -191,7 +207,9 @@ class TraceWriter:
         self._file.write(_INDEX_HEADER.pack(_INDEX_MAGIC, len(self._chunks)))
         for chunk in self._chunks:
             self._file.write(
-                _INDEX_ENTRY.pack(chunk.offset, chunk.stored_len, chunk.raw_len, chunk.records)
+                _INDEX_ENTRY.pack(
+                    chunk.offset, chunk.stored_len, chunk.raw_len, chunk.records, chunk.crc
+                )
             )
         self._file.write(
             _INDEX_TOTALS.pack(
@@ -237,10 +255,11 @@ class TraceReader:
         magic, version, flags, chunk_bytes, index_offset = _HEADER.unpack(header)
         if magic != _MAGIC:
             raise TraceFormatError(f"{self.path}: bad magic {magic!r}")
-        if version != _VERSION:
+        if not _MIN_VERSION <= version <= _VERSION:
             raise TraceFormatError(f"{self.path}: unsupported trace version {version}")
         if index_offset == 0 or index_offset > file_size:
             raise TraceFormatError(f"{self.path}: missing index (truncated trace?)")
+        self.version = version
         self.compressed = bool(flags & _FLAG_ZLIB)
         self.chunk_bytes = chunk_bytes
         self._index_offset = index_offset
@@ -252,21 +271,46 @@ class TraceReader:
         index_magic, num_chunks = _INDEX_HEADER.unpack(index_header)
         if index_magic != _INDEX_MAGIC:
             raise TraceFormatError(f"{self.path}: bad index magic {index_magic!r}")
+        entry_struct = _INDEX_ENTRY if version >= 2 else _INDEX_ENTRY_V1
         self.chunks: List[ChunkInfo] = []
         for i in range(num_chunks):
-            entry = self._file.read(_INDEX_ENTRY.size)
-            if len(entry) < _INDEX_ENTRY.size:
+            entry = self._file.read(entry_struct.size)
+            if len(entry) < entry_struct.size:
                 raise TraceFormatError(f"{self.path}: truncated index entry {i}")
-            offset, stored_len, raw_len, records = _INDEX_ENTRY.unpack(entry)
+            if version >= 2:
+                offset, stored_len, raw_len, records, crc = entry_struct.unpack(entry)
+            else:
+                offset, stored_len, raw_len, records = entry_struct.unpack(entry)
+                crc = None
             if offset + stored_len > index_offset:
                 raise TraceFormatError(
                     f"{self.path}: chunk {i} payload overlaps the index (truncated trace?)"
                 )
-            self.chunks.append(ChunkInfo(i, offset, stored_len, raw_len, records))
+            self.chunks.append(ChunkInfo(i, offset, stored_len, raw_len, records, crc))
         totals = self._file.read(_INDEX_TOTALS.size)
         if len(totals) < _INDEX_TOTALS.size:
             raise TraceFormatError(f"{self.path}: truncated index totals")
         records, instructions, annotations, raw_bytes = _INDEX_TOTALS.unpack(totals)
+        # Cross-check the footer totals against the per-chunk entries: a
+        # corrupt footer must never silently misreport the record population.
+        chunk_records = sum(c.records for c in self.chunks)
+        if records != chunk_records:
+            raise TraceFormatError(
+                f"{self.path}: index totals claim {records} records but chunk "
+                f"entries sum to {chunk_records} (corrupt index?)"
+            )
+        if instructions + annotations != records:
+            raise TraceFormatError(
+                f"{self.path}: index totals are inconsistent "
+                f"({instructions} instructions + {annotations} annotations "
+                f"!= {records} records)"
+            )
+        chunk_raw = sum(c.raw_len for c in self.chunks)
+        if raw_bytes != chunk_raw:
+            raise TraceFormatError(
+                f"{self.path}: index totals claim {raw_bytes} raw bytes but "
+                f"chunk entries sum to {chunk_raw} (corrupt index?)"
+            )
         self.stats = TraceStats(
             records=records,
             instructions=instructions,
@@ -305,6 +349,13 @@ class TraceReader:
         stored = self._file.read(chunk.stored_len)
         if len(stored) < chunk.stored_len:
             raise TraceFormatError(f"{self.path}: chunk {index} truncated on disk")
+        if chunk.crc is not None:
+            actual = zlib.crc32(stored) & 0xFFFFFFFF
+            if actual != chunk.crc:
+                raise TraceFormatError(
+                    f"{self.path}: chunk {index} CRC mismatch "
+                    f"(stored {chunk.crc:#010x}, computed {actual:#010x})"
+                )
         if self.compressed:
             try:
                 raw = zlib.decompress(stored)
@@ -329,6 +380,13 @@ class TraceReader:
             tracer.add("codec.read", "codec", start, time.perf_counter() - start)
         if len(stored) < chunk.stored_len:
             raise TraceFormatError(f"{self.path}: chunk {index} truncated on disk")
+        if chunk.crc is not None:
+            actual = zlib.crc32(stored) & 0xFFFFFFFF
+            if actual != chunk.crc:
+                raise TraceFormatError(
+                    f"{self.path}: chunk {index} CRC mismatch "
+                    f"(stored {chunk.crc:#010x}, computed {actual:#010x})"
+                )
         if self.compressed:
             start = time.perf_counter()
             try:
@@ -399,3 +457,85 @@ class TraceReader:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
+
+
+# ----------------------------------------------------------------------- audit
+
+
+@dataclass(frozen=True)
+class ChunkAudit:
+    """Outcome of auditing one chunk (CRC + full decode)."""
+
+    index: int
+    records: int
+    stored_len: int
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class TraceAudit:
+    """Outcome of :func:`verify_trace`: file-level + per-chunk findings."""
+
+    path: str
+    version: Optional[int] = None
+    stats: Optional[TraceStats] = None
+    #: header/index/totals problem that prevented any chunk audit
+    file_error: Optional[str] = None
+    chunks: List[ChunkAudit] = field(default_factory=list)
+
+    @property
+    def bad_chunks(self) -> List[ChunkAudit]:
+        return [chunk for chunk in self.chunks if not chunk.ok]
+
+    @property
+    def ok(self) -> bool:
+        return self.file_error is None and not self.bad_chunks
+
+
+def verify_trace(path: Union[str, os.PathLike], decode: bool = True) -> TraceAudit:
+    """Audit a trace file: header, index, totals, per-chunk CRCs and decode.
+
+    Never raises for corruption -- every problem lands in the returned
+    :class:`TraceAudit` so a caller (or ``python -m repro.trace verify``)
+    can report all damage in one pass.  ``decode=False`` checks only the
+    structural layers (header/index/CRC), skipping the codec decode.
+    """
+    audit = TraceAudit(path=os.fspath(path))
+    try:
+        reader = TraceReader(path)
+    except TraceFormatError as exc:
+        audit.file_error = str(exc)
+        return audit
+    except OSError as exc:
+        audit.file_error = f"{audit.path}: {exc}"
+        return audit
+    with reader:
+        audit.version = reader.version
+        audit.stats = reader.stats
+        for info in reader.chunks:
+            error = None
+            try:
+                if decode:
+                    decoded = reader.read_chunk(info.index)
+                    if len(decoded) != info.records:
+                        error = (
+                            f"decoded {len(decoded)} records, "
+                            f"index claims {info.records}"
+                        )
+                else:
+                    reader._chunk_payload(info.index)
+            except (TraceFormatError, TraceCodecError) as exc:
+                error = str(exc)
+            audit.chunks.append(
+                ChunkAudit(
+                    index=info.index,
+                    records=info.records,
+                    stored_len=info.stored_len,
+                    error=error,
+                )
+            )
+    return audit

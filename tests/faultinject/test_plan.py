@@ -1,0 +1,112 @@
+"""Fault-plan tests: seeded determinism and exact cross-process firing.
+
+Only the in-process kinds (``io_error``, ``hang``) are *executed* here --
+``sigkill``/``os._exit`` would take the test runner down with them; their
+end-to-end behaviour is exercised by the chaos scenarios under a real
+supervisor (see ``test_chaos.py``).
+"""
+
+import os
+
+import pytest
+
+from repro.faultinject import FAULT_KINDS, FaultPlan, FaultSpec
+
+
+class TestSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind must be one of"):
+            FaultSpec(kind="meteor", chunk=0)
+
+    def test_nonpositive_times_rejected(self):
+        for bad in (0, -1):
+            with pytest.raises(ValueError, match="times must be >= 1 or None"):
+                FaultSpec(kind="io_error", chunk=0, times=bad)
+
+    def test_poison_times_none_allowed(self):
+        assert FaultSpec(kind="sigkill", chunk=3, times=None).times is None
+
+
+class TestSeededTargeting:
+    def test_same_seed_same_plan(self, tmp_path):
+        build = lambda: FaultPlan.from_seed(
+            str(tmp_path), seed=42, num_chunks=20, faults=3
+        )
+        assert build().specs == build().specs
+
+    def test_different_seeds_diverge(self, tmp_path):
+        plans = {
+            FaultPlan.from_seed(str(tmp_path), seed=seed, num_chunks=50, faults=2).specs
+            for seed in range(8)
+        }
+        assert len(plans) > 1
+
+    def test_targets_are_distinct_and_in_range(self, tmp_path):
+        plan = FaultPlan.from_seed(str(tmp_path), seed=7, num_chunks=10, faults=4)
+        chunks = [spec.chunk for spec in plan.specs]
+        assert len(set(chunks)) == len(chunks) == 4
+        assert all(0 <= chunk < 10 for chunk in chunks)
+        assert all(spec.kind in FAULT_KINDS for spec in plan.specs)
+
+    def test_faults_clamped_to_chunk_count(self, tmp_path):
+        plan = FaultPlan.from_seed(str(tmp_path), seed=0, num_chunks=2, faults=9)
+        assert len(plan.specs) == 2
+
+    def test_empty_trace_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="no chunks"):
+            FaultPlan.from_seed(str(tmp_path), seed=0, num_chunks=0)
+
+
+class TestClaimSemantics:
+    def test_times_n_fires_exactly_n(self, tmp_path):
+        plan = FaultPlan.single(str(tmp_path), "io_error", chunk=5, times=2)
+        for _ in range(2):
+            with pytest.raises(OSError, match="injected IO error reading chunk 5"):
+                plan.fire(5)
+        # Both slots are spent: further attempts pass straight through.
+        for _ in range(5):
+            plan.fire(5)
+        assert plan.fired() == 2
+        assert plan.fired(0) == 2
+
+    def test_other_chunks_unaffected(self, tmp_path):
+        plan = FaultPlan.single(str(tmp_path), "io_error", chunk=5, times=1)
+        for chunk in (0, 4, 6):
+            plan.fire(chunk)
+        assert plan.fired() == 0
+
+    def test_claims_shared_across_plan_copies(self, tmp_path):
+        """Two plan objects over the same state_dir share the budget --
+        the property that makes ``times`` exact across worker processes."""
+        first = FaultPlan.single(str(tmp_path), "io_error", chunk=0, times=1)
+        second = FaultPlan.single(str(tmp_path), "io_error", chunk=0, times=1)
+        with pytest.raises(OSError):
+            first.fire(0)
+        second.fire(0)  # budget already spent by the sibling
+        assert second.fired() == 1
+
+    def test_claim_file_records_pid(self, tmp_path):
+        plan = FaultPlan.single(str(tmp_path), "io_error", chunk=0, times=1)
+        with pytest.raises(OSError):
+            plan.fire(0)
+        (claim,) = [name for name in os.listdir(tmp_path) if name.endswith(".claim")]
+        assert claim == "fault0_try0.claim"
+        with open(tmp_path / claim) as handle:
+            assert int(handle.read()) == os.getpid()
+
+    def test_poison_fires_every_time_without_claims(self, tmp_path):
+        plan = FaultPlan.single(str(tmp_path), "io_error", chunk=1, times=None)
+        for _ in range(3):
+            with pytest.raises(OSError):
+                plan.fire(1)
+        assert plan.fired() == 0  # poison specs never claim
+
+    def test_hang_sleeps_for_configured_duration(self, tmp_path):
+        import time
+
+        plan = FaultPlan.single(str(tmp_path), "hang", chunk=0, times=1,
+                                hang_seconds=0.05)
+        start = time.perf_counter()
+        plan.fire(0)
+        assert time.perf_counter() - start >= 0.05
+        plan.fire(0)  # second attempt: budget spent, returns immediately

@@ -81,6 +81,36 @@ class TestOracleCatchesMutations:
         assert excinfo.value.leg == "consume_each"
 
 
+class TestFaultInjectionLeg:
+    """--inject-faults: the oracle proves damage is *reported*, not eaten."""
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_damaged_trace_leg_passes_on_healthy_tree(self, seed):
+        result = run_seed(seed, engines=("consume", "trace_replay"),
+                          lifeguards=["MemCheck"], inject_faults=True)
+        assert result.records > 0
+        assert "fault_inject" in result.leg_seconds
+        assert "fault_replay" in result.leg_seconds
+
+    def test_swallowed_quarantine_is_caught(self, monkeypatch):
+        """If degrade-mode replay stops reporting skipped chunks, the
+        fault leg must flag it -- the oracle's teeth for fault handling."""
+        from repro.trace import replay as replay_module
+
+        original = replay_module.replay_trace
+
+        def amnesiac(trace_path, lifeguard, config=None, quarantine="strict"):
+            result = original(trace_path, lifeguard, config, quarantine)
+            result.skipped_chunks = []  # silently forget the damage
+            return result
+
+        monkeypatch.setattr("repro.fuzz.oracle.replay_trace", amnesiac)
+        with pytest.raises(FuzzFailure) as excinfo:
+            run_seed(0, engines=("consume",), lifeguards=["MemCheck"],
+                     inject_faults=True)
+        assert excinfo.value.leg == "fault_replay"
+
+
 class TestOracleInputValidation:
     def test_unknown_engine_rejected(self):
         with pytest.raises(ValueError):

@@ -8,6 +8,7 @@ from repro.obs.__main__ import main
 from repro.obs.diff import diff_files, diff_snapshots
 from repro.obs.pipeline import (
     REQUIRED_ACCELERATOR_COUNTERS,
+    REQUIRED_REPLAY_COUNTERS,
     SNAPSHOT_KIND,
     SNAPSHOT_VERSION,
 )
@@ -22,7 +23,7 @@ def _snapshot(counters, gauges=None):
         "gauges": dict(gauges or {}),
         "histograms": {},
     }
-    for name in REQUIRED_ACCELERATOR_COUNTERS:
+    for name in REQUIRED_ACCELERATOR_COUNTERS + REQUIRED_REPLAY_COUNTERS:
         document["counters"].setdefault(name, 0)
     return document
 

@@ -8,6 +8,7 @@ from repro.obs import (
     OBS,
     MetricsRegistry,
     REQUIRED_ACCELERATOR_COUNTERS,
+    REQUIRED_REPLAY_COUNTERS,
     observed,
     prometheus_text,
     snapshot_document,
@@ -196,13 +197,16 @@ def test_validate_snapshot_flags_problems():
     registry = MetricsRegistry()
     document = snapshot_document(registry)
     problems = validate_snapshot(document)
-    # An empty registry is missing every required accelerator counter.
-    assert len(problems) == len(REQUIRED_ACCELERATOR_COUNTERS)
+    # An empty registry is missing every required accelerator and replay
+    # fault-tolerance counter.
+    assert len(problems) == (
+        len(REQUIRED_ACCELERATOR_COUNTERS) + len(REQUIRED_REPLAY_COUNTERS)
+    )
     assert any("it.events_seen" in problem for problem in problems)
 
     assert validate_snapshot({"kind": "nope"}) != []
 
-    for name in REQUIRED_ACCELERATOR_COUNTERS:
+    for name in REQUIRED_ACCELERATOR_COUNTERS + REQUIRED_REPLAY_COUNTERS:
         document["counters"][name] = 0
     assert validate_snapshot(document) == []
 

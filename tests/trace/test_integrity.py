@@ -1,0 +1,261 @@
+"""Trace-integrity property tests: damage is detected, never silent.
+
+The invariant under test: a bit flip anywhere in a trace file -- chunk
+payload, index entry region, or totals footer -- must surface as a
+:class:`TraceFormatError` (strict) or an exact quarantine entry
+(degrade), never as a silently wrong replay.  Also covers the version-1
+compatibility path (v1 traces carry no CRCs but corruption is still
+caught by the decompressor/codec) and the ``python -m repro.trace
+verify`` audit command.
+"""
+
+import json
+import random
+import struct
+
+import pytest
+
+from repro.faultinject.corrupt import corrupt_byte, flip_chunk_bytes, truncate_trace
+from repro.lifeguards import MemCheck
+from repro.trace.cli import main as trace_cli
+from repro.trace.replay import replay_trace
+from repro.trace.tracefile import (
+    _HEADER,
+    _INDEX_ENTRY,
+    _INDEX_ENTRY_V1,
+    _INDEX_HEADER,
+    _INDEX_TOTALS,
+    TraceFormatError,
+    TraceReader,
+    TraceWriter,
+    verify_trace,
+)
+from repro.workloads import bugs
+from tests.trace.test_codec import _random_record
+from tests.trace.test_replay import capture
+
+
+def _write_trace(path, count=500, seed=11, chunk_bytes=512, compress=True):
+    rng = random.Random(seed)
+    with TraceWriter(path, chunk_bytes=chunk_bytes, compress=compress) as writer:
+        writer.extend(_random_record(rng) for _ in range(count))
+    return writer.stats
+
+
+def _index_offset(path):
+    with open(path, "rb") as handle:
+        header = handle.read(_HEADER.size)
+    return _HEADER.unpack(header)[4]
+
+
+def _rewrite_as_v1(path):
+    """Rewrite a v2 trace in the version-1 layout (no per-chunk CRCs).
+
+    The chunk payload region is byte-identical between versions; only the
+    header's version field and the index entry width differ, so a v1 file
+    is reconstructed from the v2 reader's metadata.
+    """
+    with TraceReader(path) as reader:
+        assert reader.version == 2
+        chunks = list(reader.chunks)
+        stats = reader.stats
+        compressed = reader.compressed
+        chunk_bytes = reader.chunk_bytes
+        index_offset = reader._index_offset
+    with open(path, "rb") as handle:
+        payload = handle.read()[_HEADER.size:index_offset]
+    with open(path, "wb") as handle:
+        flags = 1 if compressed else 0
+        handle.write(_HEADER.pack(b"LBATRC01", 1, flags, chunk_bytes, index_offset))
+        handle.write(payload)
+        handle.write(_INDEX_HEADER.pack(b"INDX", len(chunks)))
+        for chunk in chunks:
+            handle.write(_INDEX_ENTRY_V1.pack(
+                chunk.offset, chunk.stored_len, chunk.raw_len, chunk.records
+            ))
+        handle.write(_INDEX_TOTALS.pack(
+            stats.records, stats.instructions, stats.annotations, stats.raw_bytes
+        ))
+
+
+class TestPayloadFlips:
+    """Seeded bit flips inside chunk payloads are always caught."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    @pytest.mark.parametrize("compress", [False, True], ids=["raw", "zlib"])
+    def test_flipped_chunk_never_reads_silently(self, tmp_path, seed, compress):
+        path = tmp_path / "t.trace"
+        _write_trace(path, seed=seed, compress=compress)
+        with TraceReader(path) as reader:
+            chunk = random.Random(seed).randrange(reader.num_chunks)
+        offsets = flip_chunk_bytes(path, chunk, seed=seed)
+        assert offsets  # the helper actually changed bytes
+        with TraceReader(path) as reader:
+            with pytest.raises(TraceFormatError, match=f"chunk {chunk} "):
+                reader.read_chunk(chunk)
+        audit = verify_trace(path)
+        assert [bad.index for bad in audit.bad_chunks] == [chunk]
+        assert not audit.ok
+
+    def test_flip_is_deterministic(self, tmp_path):
+        first = tmp_path / "a.trace"
+        second = tmp_path / "b.trace"
+        _write_trace(first)
+        _write_trace(second)
+        assert flip_chunk_bytes(first, 1, seed=9) == flip_chunk_bytes(second, 1, seed=9)
+
+    def test_flipped_chunk_quarantined_under_degrade(self, tmp_path):
+        """Replay of a damaged trace: strict raises, degrade accounts."""
+        path, _ = capture(tmp_path, bugs.uninitialized_computation(), MemCheck())
+        with TraceReader(path) as reader:
+            chunk = reader.num_chunks // 2
+            lost = reader.chunks[chunk].records
+            total = reader.num_records
+        flip_chunk_bytes(path, chunk, seed=5)
+        with pytest.raises(TraceFormatError, match=f"chunk {chunk}"):
+            replay_trace(path, MemCheck, quarantine="strict")
+        degraded = replay_trace(path, MemCheck, quarantine="degrade")
+        assert [c.chunk for c in degraded.skipped_chunks] == [chunk]
+        assert degraded.skipped_chunks[0].reason == "corrupt"
+        assert degraded.skipped_records == lost
+        assert degraded.records == total - lost
+        assert degraded.degraded
+
+
+class TestIndexFlips:
+    """Flips in the index entry region can never produce a clean audit."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5, 6, 7])
+    def test_index_entry_flip_detected(self, tmp_path, seed):
+        path = tmp_path / "t.trace"
+        _write_trace(path, seed=seed)
+        index_offset = _index_offset(path)
+        with TraceReader(path) as reader:
+            num_chunks = reader.num_chunks
+        entries_start = index_offset + _INDEX_HEADER.size
+        entries_len = num_chunks * _INDEX_ENTRY.size
+        offset = entries_start + random.Random(seed).randrange(entries_len)
+        corrupt_byte(path, offset, xor=random.Random(seed).randint(1, 255))
+        audit = verify_trace(path)
+        assert not audit.ok
+
+    def test_flipped_crc_field_blames_its_chunk(self, tmp_path):
+        path = tmp_path / "t.trace"
+        _write_trace(path)
+        index_offset = _index_offset(path)
+        # Last u32 of entry 0 is its CRC field.
+        crc_offset = index_offset + _INDEX_HEADER.size + _INDEX_ENTRY.size - 4
+        corrupt_byte(path, crc_offset)
+        with TraceReader(path) as reader:
+            with pytest.raises(TraceFormatError, match="chunk 0 CRC mismatch"):
+                reader.read_chunk(0)
+
+    def test_flipped_record_count_rejected_at_open(self, tmp_path):
+        path = tmp_path / "t.trace"
+        _write_trace(path)
+        index_offset = _index_offset(path)
+        # The records u32 sits right before the CRC in entry 0.
+        records_offset = index_offset + _INDEX_HEADER.size + _INDEX_ENTRY.size - 8
+        corrupt_byte(path, records_offset)
+        with pytest.raises(TraceFormatError, match="corrupt index"):
+            TraceReader(path)
+
+
+class TestTotalsFooterFlips:
+    """Every byte of the totals footer is load-bearing: any flip rejects."""
+
+    def test_any_footer_byte_flip_rejected_at_open(self, tmp_path):
+        original = tmp_path / "good.trace"
+        _write_trace(original)
+        data = original.read_bytes()
+        footer_start = len(data) - _INDEX_TOTALS.size
+        for delta in range(_INDEX_TOTALS.size):
+            path = tmp_path / f"footer{delta}.trace"
+            path.write_bytes(data)
+            corrupt_byte(path, footer_start + delta)
+            with pytest.raises(TraceFormatError, match="index totals|inconsistent"):
+                TraceReader(path)
+            audit = verify_trace(path)
+            assert audit.file_error is not None and not audit.ok
+
+    def test_truncation_rejected_at_open(self, tmp_path):
+        path = tmp_path / "t.trace"
+        _write_trace(path)
+        truncate_trace(path, fraction=0.5)
+        with pytest.raises(TraceFormatError):
+            TraceReader(path)
+
+
+class TestVersion1Compat:
+    def test_v1_trace_reads_without_crcs(self, tmp_path):
+        path = tmp_path / "t.trace"
+        rng = random.Random(3)
+        records = [_random_record(rng) for _ in range(400)]
+        with TraceWriter(path, chunk_bytes=512) as writer:
+            writer.extend(records)
+        _rewrite_as_v1(path)
+        with TraceReader(path) as reader:
+            assert reader.version == 1
+            assert all(info.crc is None for info in reader.chunks)
+            assert list(reader) == records
+        audit = verify_trace(path)
+        assert audit.ok and audit.version == 1
+
+    def test_v1_payload_corruption_still_caught(self, tmp_path):
+        """Without CRCs the decompressor/codec is the (weaker) net."""
+        path = tmp_path / "t.trace"
+        _write_trace(path, compress=True)
+        _rewrite_as_v1(path)
+        with TraceReader(path) as reader:
+            chunk = reader.num_chunks - 1
+        flip_chunk_bytes(path, chunk, seed=1)
+        audit = verify_trace(path)
+        assert [bad.index for bad in audit.bad_chunks] == [chunk]
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "t.trace"
+        _write_trace(path)
+        data = bytearray(path.read_bytes())
+        struct.pack_into("<H", data, 8, 99)
+        path.write_bytes(bytes(data))
+        with pytest.raises(TraceFormatError, match="unsupported trace version 99"):
+            TraceReader(path)
+
+
+class TestVerifyCli:
+    def test_clean_trace_passes(self, tmp_path, capsys):
+        path = tmp_path / "t.trace"
+        _write_trace(path)
+        assert trace_cli(["verify", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out and "CRCs verified" in out
+
+    def test_corrupt_trace_fails_and_names_chunk(self, tmp_path, capsys):
+        path = tmp_path / "t.trace"
+        _write_trace(path)
+        flip_chunk_bytes(path, 1, seed=0)
+        assert trace_cli(["verify", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "chunk 1" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        good = tmp_path / "good.trace"
+        bad = tmp_path / "bad.trace"
+        _write_trace(good)
+        _write_trace(bad)
+        flip_chunk_bytes(bad, 0, seed=0)
+        assert trace_cli(["verify", "--json", str(good), str(bad)]) == 1
+        lines = capsys.readouterr().out.strip().splitlines()
+        documents = [json.loads(line) for line in lines]
+        assert [doc["ok"] for doc in documents] == [True, False]
+        assert documents[1]["bad_chunks"][0]["chunk"] == 0
+
+    def test_no_decode_still_catches_crc_damage(self, tmp_path):
+        path = tmp_path / "t.trace"
+        _write_trace(path)
+        flip_chunk_bytes(path, 0, seed=0)
+        assert trace_cli(["verify", "--no-decode", str(path)]) == 1
+
+    def test_missing_file_reported(self, tmp_path, capsys):
+        assert trace_cli(["verify", str(tmp_path / "nope.trace")]) == 1
+        assert "FAIL" in capsys.readouterr().out

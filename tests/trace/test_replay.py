@@ -17,6 +17,7 @@ from repro.lba.platform import LBASystem
 from repro.lifeguards import AddrCheck, MemCheck, TaintCheck
 from repro.lifeguards.base import MetadataMapper
 from repro.lifeguards.reports import merge_reports, report_counts
+from repro.faultinject.corrupt import flip_chunk_bytes
 from repro.trace.replay import (
     MAX_DEFAULT_WORKERS,
     MultiTraceReplay,
@@ -24,7 +25,8 @@ from repro.trace.replay import (
     default_workers,
     replay_trace,
 )
-from repro.trace.tracefile import TraceReader, TraceWriter
+from repro.trace.supervisor import ReplayError, SupervisorPolicy
+from repro.trace.tracefile import TraceFormatError, TraceReader, TraceWriter
 from repro.workloads import attacks, bugs
 from tests.conftest import build_copy_loop
 
@@ -180,6 +182,144 @@ class TestMultiTraceReplay:
         with pytest.raises(ValueError, match="workers must be >= 1"):
             MultiTraceReplay(paths, AddrCheck, workers=0)
         assert MultiTraceReplay(paths, AddrCheck).workers == default_workers()
+
+
+class TestEmptyTrace:
+    """A zero-record capture replays to zeroed stats, never a crash."""
+
+    def _empty_trace(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        with TraceWriter(path):
+            pass
+        return str(path)
+
+    def test_sequential_replay_of_empty_trace(self, tmp_path):
+        result = replay_trace(self._empty_trace(tmp_path), AddrCheck)
+        assert result.records == 0
+        assert result.chunks == 0
+        assert result.reports == []
+        assert not result.degraded and result.skipped_records == 0
+
+    def test_records_per_second_guards_zero_wall(self, tmp_path):
+        result = replay_trace(self._empty_trace(tmp_path), AddrCheck)
+        result.wall_seconds = 0.0
+        assert result.records_per_second == 0.0
+        result.wall_seconds = -1.0
+        assert result.records_per_second == 0.0
+
+    def test_parallel_replay_of_empty_trace(self, tmp_path):
+        path = self._empty_trace(tmp_path)
+        replay = ParallelReplay(path, AddrCheck, workers=4)
+        assert replay.shards() == []
+        result = replay.run()
+        assert result.records == 0
+        assert result.records_per_second == 0.0
+        assert result.worker_timings == []
+
+    def test_supervised_replay_of_empty_trace(self, tmp_path):
+        """An explicit policy forces the supervisor path even with no work."""
+        result = ParallelReplay(
+            self._empty_trace(tmp_path), AddrCheck, workers=2,
+            policy=SupervisorPolicy(timeout_seconds=5.0),
+        ).run()
+        assert result.records == 0
+        assert result.failures == []
+
+
+class TestQuarantine:
+    """Damaged chunks: strict raises naming the chunk, degrade accounts."""
+
+    def _damaged_capture(self, tmp_path):
+        path, live = capture(tmp_path, bugs.use_after_free(), AddrCheck(),
+                             chunk_bytes=128)
+        with TraceReader(path) as reader:
+            chunk = reader.num_chunks // 2
+            lost = reader.chunks[chunk].records
+            total = reader.num_records
+        flip_chunk_bytes(path, chunk, seed=0)
+        return path, chunk, lost, total
+
+    def test_invalid_policy_rejected(self, tmp_path):
+        path, _ = capture(tmp_path, build_copy_loop(8), AddrCheck())
+        with pytest.raises(ValueError, match="quarantine must be one of"):
+            replay_trace(path, AddrCheck, quarantine="panic")
+        with pytest.raises(ValueError, match="quarantine must be one of"):
+            ParallelReplay(path, AddrCheck, quarantine="retry")
+
+    def test_parallel_degrade_quarantines_exactly(self, tmp_path):
+        path, chunk, lost, total = self._damaged_capture(tmp_path)
+        result = ParallelReplay(
+            path, AddrCheck, OPTIMIZED_CONFIG, workers=2, quarantine="degrade"
+        ).run()
+        assert [c.chunk for c in result.skipped_chunks] == [chunk]
+        assert result.skipped_chunks[0].reason == "corrupt"
+        assert result.skipped_records == lost
+        assert result.records == total - lost
+        assert result.fault_counters["chunks_quarantined"] == 1
+        assert result.fault_counters["records_quarantined"] == lost
+
+    def test_parallel_degrade_matches_sequential_degrade(self, tmp_path):
+        path, _chunk, _lost, _total = self._damaged_capture(tmp_path)
+        replay = ParallelReplay(
+            path, AddrCheck, OPTIMIZED_CONFIG, workers=2, quarantine="degrade"
+        )
+        parallel = replay.run()
+        sequential = replay.run_sequential()
+        assert parallel.records == sequential.records
+        assert parallel.dispatch == sequential.dispatch
+        assert parallel.reports == sequential.reports
+        assert [c.chunk for c in parallel.skipped_chunks] == [
+            c.chunk for c in sequential.skipped_chunks
+        ]
+
+    def test_parallel_strict_raises_replay_error(self, tmp_path):
+        """A deterministic worker exception fails fast: no retry storm,
+        a ReplayError carrying the shard span and lifeguard, and no
+        leaked children (the supervisor's terminate-all teardown)."""
+        path, chunk, _lost, _total = self._damaged_capture(tmp_path)
+        with pytest.raises(ReplayError) as excinfo:
+            ParallelReplay(
+                path, AddrCheck, OPTIMIZED_CONFIG, workers=2, quarantine="strict"
+            ).run()
+        error = excinfo.value
+        assert chunk in error.chunks
+        assert error.trace_path == path
+        assert error.lifeguard == AddrCheck.name
+        assert "TraceFormatError" in str(error)
+
+    def test_sequential_strict_raises_format_error(self, tmp_path):
+        path, chunk, _lost, _total = self._damaged_capture(tmp_path)
+        with pytest.raises(TraceFormatError, match=f"chunk {chunk}"):
+            replay_trace(path, AddrCheck, OPTIMIZED_CONFIG)
+
+    def test_multitrace_degrade_quarantines_per_file(self, tmp_path):
+        paths = []
+        for core, program in enumerate([bugs.use_after_free(), bugs.double_free()]):
+            path = tmp_path / f"core{core}.lbatrace"
+            with TraceWriter(path, chunk_bytes=256) as writer:
+                writer.extend(Machine(program).trace())
+            paths.append(str(path))
+        with TraceReader(paths[1]) as reader:
+            lost = reader.chunks[0].records
+        flip_chunk_bytes(paths[1], 0, seed=0)
+        result = MultiTraceReplay(
+            paths, AddrCheck, OPTIMIZED_CONFIG, workers=2, quarantine="degrade"
+        ).run()
+        assert [(c.trace_path, c.chunk) for c in result.skipped_chunks] == [
+            (paths[1], 0)
+        ]
+        assert result.skipped_records == lost
+
+
+class TestSupervisorExports:
+    def test_package_exports_supervision_api(self):
+        import repro.trace as trace
+
+        for name in ("ReplayError", "SupervisorPolicy", "ShardFailure",
+                     "QuarantinedChunk", "QUARANTINE_POLICIES", "ShardTask",
+                     "verify_trace", "TraceAudit", "ChunkAudit"):
+            assert hasattr(trace, name), name
+        assert trace.QUARANTINE_POLICIES == ("strict", "degrade")
 
 
 class TestReportMerging:

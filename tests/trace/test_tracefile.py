@@ -131,7 +131,8 @@ class TestErrorPaths:
             data[i] = 0xFF
         path.write_bytes(bytes(data))
         with TraceReader(path) as reader:
-            with pytest.raises(TraceFormatError, match="chunk 0 corrupt"):
+            # The per-chunk CRC catches the damage before the codec runs.
+            with pytest.raises(TraceFormatError, match="chunk 0 CRC mismatch"):
                 reader.read_chunk(0)
 
     def test_index_offset_pointing_into_payload(self, tmp_path):
