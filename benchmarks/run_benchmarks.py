@@ -329,12 +329,14 @@ SCALING_POINTS = (1, 2, 4)
 
 
 def _worker_breakdown(result):
-    """Per-worker time split (serialize/IPC/decode/dispatch) for a curve point.
+    """Per-worker time split for a curve point.
 
-    This is the attribution data for the inverse-scaling regression: when
-    adding workers makes records/s *drop*, the breakdown shows whether the
-    time went to dispatch (real work), serialize+IPC (result shipping), or
-    setup (per-worker pipeline construction).
+    This is the attribution data for the scaling story: ``dispatch_s`` is
+    real lifeguard work, ``predecode_s``/``shm_attach_s`` are the
+    shared-memory transport (parent-side chunk packing, worker-side
+    zero-copy attach), ``decode_s`` is in-worker decoding of chunks that
+    could not be packed (0 on the shm path), and ``serialize_s``/``ipc_s``
+    are the residual result-shipping and per-shard spawn+transfer costs.
     """
     breakdown = []
     for timing in result.worker_timings:
@@ -345,6 +347,8 @@ def _worker_breakdown(result):
                 "records": timing.get("records"),
                 "setup_s": round(timing.get("setup_s", 0.0), 4),
                 "decode_s": round(timing.get("decode_s", 0.0), 4),
+                "predecode_s": round(timing.get("predecode_s", 0.0), 4),
+                "shm_attach_s": round(timing.get("shm_attach_s", 0.0), 4),
                 "dispatch_s": round(timing.get("dispatch_s", 0.0), 4),
                 "serialize_s": round(timing.get("serialize_s", 0.0), 4),
                 "ipc_s": round(timing.get("ipc_s", 0.0), 4),
@@ -352,6 +356,16 @@ def _worker_breakdown(result):
             }
         )
     return breakdown
+
+
+def _oversubscribed(workers):
+    """Whether a curve point runs more workers than the host has CPUs.
+
+    On such a point the wall-clock throughput measures scheduler
+    contention, not scaling -- readers must lean on the per-stage
+    breakdown instead (and the committed curve flags this explicitly).
+    """
+    return workers > (os.cpu_count() or 1)
 
 
 def run_multicore(smoke=False, scale=1.0):
@@ -378,6 +392,7 @@ def run_multicore(smoke=False, scale=1.0):
             replay_curve.append(
                 {
                     "workers": workers,
+                    "oversubscribed": _oversubscribed(workers),
                     "records_per_second": round(result.records_per_second),
                     "wall_seconds": round(result.wall_seconds, 4),
                     "worker_breakdown": _worker_breakdown(result),
@@ -403,6 +418,7 @@ def run_multicore(smoke=False, scale=1.0):
             multi_curve.append(
                 {
                     "workers": workers,
+                    "oversubscribed": _oversubscribed(workers),
                     "records_per_second": round(result.records_per_second),
                     "wall_seconds": round(result.wall_seconds, 4),
                     "worker_breakdown": _worker_breakdown(result),
@@ -446,14 +462,29 @@ def run_multicore(smoke=False, scale=1.0):
 
 
 def _breakdown_note(point):
-    """Summed serialize/IPC/dispatch attribution for one curve point."""
+    """Summed per-stage attribution for one curve point."""
     breakdown = point.get("worker_breakdown")
     if not breakdown:
         return ""
     dispatch = sum(w["dispatch_s"] for w in breakdown)
     ship = sum(w["serialize_s"] + w["ipc_s"] for w in breakdown)
+    transport = sum(
+        w.get("predecode_s", 0.0) + w.get("shm_attach_s", 0.0) for w in breakdown
+    )
     setup = sum(w["setup_s"] for w in breakdown)
-    return f"   (dispatch {dispatch:.2f}s, serialize+ipc {ship:.2f}s, setup {setup:.2f}s)"
+    note = (f"   (dispatch {dispatch:.2f}s, serialize+ipc {ship:.2f}s, "
+            f"shm {transport:.2f}s, setup {setup:.2f}s)")
+    if point.get("oversubscribed"):
+        note += "  [oversubscribed]"
+    return note
+
+
+def _warn_oversubscribed(curve):
+    points = [p["workers"] for p in curve if p.get("oversubscribed")]
+    if points:
+        print(f"    WARNING: worker counts {points} exceed the {os.cpu_count()} "
+              "host CPU(s); wall-clock throughput on those points measures "
+              "scheduler contention -- read the per-stage breakdown instead")
 
 
 def _print_multicore(results):
@@ -462,12 +493,14 @@ def _print_multicore(results):
     for point in replay["curve"]:
         print(f"    {point['workers']} workers  {point['records_per_second']:>12,} records/s"
               f"{_breakdown_note(point)}")
+    _warn_oversubscribed(replay["curve"])
     per_core = results["per_core_trace_replay"]
     print(f"  per-core trace replay ({per_core['workload']}, {per_core['cores']} cores, "
           f"{per_core['lifeguard']}):")
     for point in per_core["curve"]:
         print(f"    {point['workers']} workers  {point['records_per_second']:>12,} records/s"
               f"{_breakdown_note(point)}")
+    _warn_oversubscribed(per_core["curve"])
     for entry in results["live_scaling"].values():
         print(f"  live platform ({entry['workload']}, {entry['lifeguard']}):")
         for row in entry["curve"]:

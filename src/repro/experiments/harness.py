@@ -222,6 +222,7 @@ def replay_captured(
     workers: int = 1,
     quarantine: str = "strict",
     policy: Optional[SupervisorPolicy] = None,
+    shared_memory: Optional[bool] = None,
 ) -> ReplayResult:
     """Replay a captured trace through a lifeguard (replay-many path).
 
@@ -230,13 +231,15 @@ def replay_captured(
     ``workers == 1`` is the faithful single-consumer replay that reproduces
     the live run's reports and event counts exactly.  ``quarantine`` and
     ``policy`` control damaged-chunk handling and worker supervision (see
-    :mod:`repro.trace.supervisor`).
+    :mod:`repro.trace.supervisor`); sharded replays ship pre-decoded
+    columns to the workers through shared memory by default --
+    ``shared_memory=False`` forces the classic decode-in-worker path.
     """
     if workers <= 1:
         return replay_trace(os.fspath(path), lifeguard, config, quarantine=quarantine)
     return ParallelReplay(
         os.fspath(path), lifeguard, config, workers=workers,
-        quarantine=quarantine, policy=policy,
+        quarantine=quarantine, policy=policy, shared_memory=shared_memory,
     ).run()
 
 
@@ -291,9 +294,10 @@ def replay_multicore_traces(
     workers: Optional[int] = None,
     quarantine: str = "strict",
     policy: Optional[SupervisorPolicy] = None,
+    shared_memory: Optional[bool] = None,
 ) -> ReplayResult:
     """Replay a per-core trace set through sharded lifeguard instances."""
     return MultiTraceReplay(
         [os.fspath(path) for path in paths], lifeguard, config, workers=workers,
-        quarantine=quarantine, policy=policy,
+        quarantine=quarantine, policy=policy, shared_memory=shared_memory,
     ).run()

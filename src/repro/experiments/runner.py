@@ -78,6 +78,7 @@ def replay_all(
     workers: int = 1,
     quarantine: str = "strict",
     policy: Optional[SupervisorPolicy] = None,
+    shared_memory: Optional[bool] = None,
 ) -> List[str]:
     """Replay every stored trace through each lifeguard; returns report lines."""
     paths = sorted(glob.glob(os.path.join(trace_dir, "*.lbatrace")))
@@ -90,12 +91,18 @@ def replay_all(
             "error counts of stateful lifeguards are per-shard approximations; "
             "use --workers 1 for live-run-exact reports"
         )
+        if shared_memory is False:
+            lines.append(
+                "  note: shared-memory transport disabled; workers decode "
+                "chunks from the trace file"
+            )
     lines.append("")
     for path in paths:
         benchmark = os.path.splitext(os.path.basename(path))[0]
         for name in lifeguards:
             result = replay_captured(
-                path, name, workers=workers, quarantine=quarantine, policy=policy
+                path, name, workers=workers, quarantine=quarantine, policy=policy,
+                shared_memory=shared_memory,
             )
             quarantined = (
                 f"  [{len(result.skipped_chunks)} chunks / "
@@ -246,6 +253,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--shard-retries", type=int, default=None, metavar="N",
                         help="attempts per replay shard before bisection/"
                              "quarantine (default: the supervisor's 3)")
+    parser.add_argument("--no-shared-memory", action="store_true",
+                        help="disable the shared-memory column transport for "
+                             "sharded replay (workers decode chunks from the "
+                             "trace file instead of attaching pre-decoded "
+                             "segments)")
     parser.add_argument("--cores", type=int, default=1,
                         help="application/lifeguard core pairs; >1 runs the "
                              "multi-core platform report instead of the figures")
@@ -293,7 +305,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
         sections = ["\n".join(replay_all(args.replay_traces, lifeguards=args.lifeguards,
                                          workers=args.workers,
-                                         quarantine=args.quarantine, policy=policy))]
+                                         quarantine=args.quarantine, policy=policy,
+                                         shared_memory=(False if args.no_shared_memory
+                                                        else None)))]
     elif args.core_sweep:
         cores_list = [c for c in (1, 2, 4, 8, 16) if c <= max(args.cores, 1)]
         if cores_list[-1] != args.cores:

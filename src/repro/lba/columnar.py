@@ -237,6 +237,15 @@ class ColumnarEngine:
 
         Bit-identical to ``sum(dispatcher.consume(r) for r in
         columns.records())``.
+
+        ``columns`` may be backed by zero-copy ``memoryview`` casts over a
+        shared-memory segment (:meth:`RecordColumns.from_buffers`) instead
+        of Python lists: the engine reads columns strictly by integer row
+        index and writes nothing but the run table (and only when a
+        hand-built column set lacks one -- pre-decoded columns always
+        carry theirs), so both representations dispatch identically.
+        Callers owning such views release them (and only then the
+        segment) after this returns.
         """
         if not self.supported:
             return self.dispatcher.consume_batch(columns.records())

@@ -62,6 +62,12 @@ REQUIRED_REPLAY_COUNTERS = (
     "replay.fallbacks_inprocess",
     "replay.chunks_quarantined",
     "replay.records_quarantined",
+    # Shared-memory transport health: segments created by the pre-decode
+    # stage, chunks packed into them, and chunks that fell back to
+    # in-worker decode (damage, IO error, value outside int64).
+    "replay.shm_segments",
+    "replay.shm_chunks",
+    "replay.shm_fallback_chunks",
 )
 
 

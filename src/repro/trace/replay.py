@@ -19,6 +19,14 @@ across multiple lifeguard cores.  ``run_sequential()`` applies the exact
 same sharding in-process, so parallel and sequential sharded replays are
 bit-for-bit comparable.
 
+Sharded replay is backed by shared memory by default (see
+:mod:`repro.trace.shm`): the parent pre-decodes each shard's chunks into
+packed column buffers inside a named ``multiprocessing.shared_memory``
+segment, and the worker attaches zero-copy :class:`RecordColumns` views
+instead of re-decoding -- only small descriptors and compact result
+deltas cross the process boundary.  Pass ``shared_memory=False`` to
+force the classic decode-in-worker path.
+
 Sharded replay is *supervised* (see :mod:`repro.trace.supervisor`): worker
 crashes, hangs and reader IO errors are retried with exponential backoff,
 repeatedly-failing spans are bisected to isolate poison chunks, and every
@@ -35,7 +43,7 @@ from __future__ import annotations
 import os
 import pickle
 import time
-from dataclasses import dataclass, field
+from dataclasses import astuple, dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Type, Union
 
 from repro.core.accelerator import AcceleratorConfig, AcceleratorStats, EventAccelerator
@@ -45,8 +53,14 @@ from repro.lba.columnar import ColumnarEngine
 from repro.lba.dispatch import DispatchStats, EventDispatcher
 from repro.lifeguards import ALL_LIFEGUARDS
 from repro.lifeguards.base import Lifeguard
-from repro.lifeguards.reports import ErrorReport, merge_reports
+from repro.lifeguards.reports import ErrorKind, ErrorReport, merge_reports
 from repro.obs.runtime import OBS
+from repro.trace.shm import (
+    SegmentPool,
+    ShardSegment,
+    attach_segment,
+    shared_memory_available,
+)
 from repro.trace.supervisor import (
     QUARANTINE_POLICIES,
     QuarantinedChunk,
@@ -55,7 +69,7 @@ from repro.trace.supervisor import (
     ShardSupervisor,
     SupervisorPolicy,
 )
-from repro.trace.codec import TraceCodecError
+from repro.trace.codec import RecordColumns, TraceCodecError
 from repro.trace.tracefile import TraceFormatError, TraceReader
 
 #: Exceptions that mean "this chunk's bytes are damaged" (as opposed to an
@@ -330,6 +344,11 @@ class ShardTask:
     #: Optional :class:`repro.faultinject.FaultPlan`, fired once per chunk
     #: read; ``None`` in production.
     fault_plan: Optional[object] = None
+    #: Shared-memory segment descriptor set by the parent's pre-decode
+    #: stage (:class:`repro.trace.shm.SegmentPool`).  Chunks present in the
+    #: segment are consumed as zero-copy column views; chunks absent from
+    #: it (or the whole span when ``None``) are read from the trace file.
+    segment: Optional[ShardSegment] = None
 
 
 @dataclass
@@ -348,6 +367,40 @@ class _ShardResult:
     #: the live IT/IF/M-TLB objects never cross the process boundary, so the
     #: worker captures their counters as plain dicts for the parent registry
     detail: Optional[dict] = None
+
+    # The pickled form is a compact tuple of primitives: stats dataclasses
+    # flatten to field tuples and each ErrorReport to one 6-tuple, instead
+    # of a per-object class/dict round-trip.  This is the "results stop
+    # round-tripping full reports through pickle" half of shared-memory
+    # replay; ``merge_reports``/``sum_stats`` consume the reconstruction
+    # unchanged.
+
+    def __getstate__(self):
+        return (
+            self.records,
+            astuple(self.dispatch),
+            astuple(self.accelerator),
+            [
+                (r.kind.value, r.lifeguard, r.pc, r.address, r.thread_id, r.message)
+                for r in self.reports
+            ],
+            [astuple(chunk) for chunk in self.skipped],
+            self.timing,
+            self.detail,
+        )
+
+    def __setstate__(self, state):
+        records, dispatch, accelerator, reports, skipped, timing, detail = state
+        self.records = records
+        self.dispatch = DispatchStats(*dispatch)
+        self.accelerator = AcceleratorStats(*accelerator)
+        self.reports = [
+            ErrorReport(ErrorKind(kind), lifeguard, pc, address, thread_id, message)
+            for kind, lifeguard, pc, address, thread_id, message in reports
+        ]
+        self.skipped = [QuarantinedChunk(*chunk) for chunk in skipped]
+        self.timing = timing
+        self.detail = detail
 
 
 def _replay_shard(task: ShardTask) -> _ShardResult:
@@ -372,8 +425,23 @@ def _replay_shard(task: ShardTask) -> _ShardResult:
     setup_s = time.perf_counter() - wall_start
     decode_s = 0.0
     dispatch_s = 0.0
+    shm_attach_s = 0.0
     skipped: List[QuarantinedChunk] = []
-    with TraceReader(task.trace_path) as reader:
+    # Attach this shard's pre-decoded segment (if the parent packed one);
+    # chunks it holds dispatch as zero-copy views, the rest read from file.
+    shm = None
+    packed_chunks = {}
+    if task.segment is not None:
+        t_attach = time.perf_counter()
+        try:
+            shm = attach_segment(task.segment.name)
+            packed_chunks = task.segment.chunk_map()
+        except OSError:
+            shm = None
+            packed_chunks = {}
+        shm_attach_s += time.perf_counter() - t_attach
+    reader: Optional[TraceReader] = None
+    try:
         for position, index in enumerate(task.chunks):
             if index in task.skip:
                 skipped.append(QuarantinedChunk(
@@ -384,8 +452,27 @@ def _replay_shard(task: ShardTask) -> _ShardResult:
                 continue
             if plan is not None:
                 plan.fire(index)
+            packed = packed_chunks.get(index)
+            if packed is not None:
+                t_attach = time.perf_counter()
+                region = shm.buf[packed.offset:packed.offset + packed.layout.nbytes]
+                try:
+                    columns = RecordColumns.from_buffers(packed.layout, region)
+                finally:
+                    region.release()
+                shm_attach_s += time.perf_counter() - t_attach
+                t_dispatch = time.perf_counter()
+                try:
+                    # One pre-decoded chunk feeds one columnar dispatch call.
+                    engine.consume_columns(columns)
+                finally:
+                    columns.release()
+                dispatch_s += time.perf_counter() - t_dispatch
+                continue
             t_decode = time.perf_counter()
             try:
+                if reader is None:
+                    reader = TraceReader(task.trace_path)
                 columns = reader.read_chunk_columns(index)
             except _CHUNK_DAMAGE_ERRORS as exc:
                 if not degrade:
@@ -401,6 +488,11 @@ def _replay_shard(task: ShardTask) -> _ShardResult:
             # One column-decoded chunk feeds one columnar dispatch call.
             engine.consume_columns(columns)
             dispatch_s += time.perf_counter() - t_dispatch
+    finally:
+        if reader is not None:
+            reader.close()
+        if shm is not None:
+            shm.close()
     dispatch, accel, reports = _finish_pipeline(lifeguard, accelerator, dispatcher)
     result = _ShardResult(
         records=dispatch.records_consumed,
@@ -425,6 +517,12 @@ def _replay_shard(task: ShardTask) -> _ShardResult:
         "decode_s": decode_s,
         "dispatch_s": dispatch_s,
         "serialize_s": serialize_s,
+        # Segment attach + zero-copy column reconstruction (this worker)
+        # and the parent-side pre-decode/pack cost of this shard's segment:
+        # together they replace decode_s + most of the old serialize/IPC
+        # attribution when the shared-memory path is on.
+        "shm_attach_s": shm_attach_s,
+        "predecode_s": task.segment.predecode_s if task.segment is not None else 0.0,
         "worker_wall_s": time.perf_counter() - wall_start,
         "mono_start": mono_start,
         "mono_end": time.monotonic(),
@@ -450,19 +548,33 @@ def _collect_telemetry(result: ReplayResult, shard_results: List[_ShardResult]) 
 
 
 def _worker_timings(shard_results: List[_ShardResult], elapsed: float) -> List[dict]:
-    """Attach parent-side IPC attribution to the shard timing breakdowns.
+    """Attach per-shard IPC attribution to the shard timing breakdowns.
 
-    ``ipc_s`` is the slice of the parent's wall time this worker's result
-    did *not* spend computing: process spawn, argument pickling, queue wait
-    and result unpickling.  Together with the in-worker breakdown it makes
-    the multicore inverse-scaling question answerable from the data.
+    ``ipc_s`` is the slice of *this shard's* supervised lifetime its worker
+    did not spend computing: process spawn, task pickling, pipe wait and
+    result unpickling.  The supervisor stamps ``mono_launched`` (just
+    before the worker process starts) and ``mono_received`` (when its
+    result arrives) onto the timing dict, and the worker's own
+    ``mono_start``/``mono_end`` bracket the compute; the difference of the
+    two intervals is the shard's real transfer+wait cost.  Earlier versions
+    derived ``ipc_s`` from the parent's *total* elapsed time, which billed
+    every worker for its siblings' runtimes and made the attribution grow
+    with worker count regardless of actual IPC.  Shards replayed in-process
+    (sequential reference, supervisor fallback) have no hand-off, so their
+    ``ipc_s`` is 0.
     """
     timings = []
     for shard in shard_results:
         if not shard.timing:
             continue
         timing = dict(shard.timing)
-        timing["ipc_s"] = max(0.0, elapsed - timing.get("worker_wall_s", 0.0))
+        launched = timing.pop("mono_launched", None)
+        received = timing.pop("mono_received", None)
+        if launched is not None and received is not None:
+            compute = timing.get("mono_end", 0.0) - timing.get("mono_start", 0.0)
+            timing["ipc_s"] = max(0.0, (received - launched) - compute)
+        else:
+            timing["ipc_s"] = 0.0
         timings.append(timing)
     return timings
 
@@ -544,6 +656,7 @@ class ParallelReplay:
         quarantine: str = "strict",
         policy: Optional[SupervisorPolicy] = None,
         fault_plan=None,
+        shared_memory: Optional[bool] = None,
     ) -> None:
         self.trace_path = str(trace_path)
         self.lifeguard_cls = _resolve_lifeguard(lifeguard)
@@ -553,9 +666,14 @@ class ParallelReplay:
         self.quarantine = _validate_quarantine(quarantine)
         self.policy = policy
         self.fault_plan = fault_plan
+        # Default on where the platform supports it: workers attach to
+        # pre-decoded column buffers instead of re-decoding from the file.
+        self.shared_memory = (
+            shared_memory_available() if shared_memory is None else bool(shared_memory)
+        )
         with TraceReader(trace_path) as reader:
             self.num_chunks = reader.num_chunks
-            self._chunk_records = tuple(info.records for info in reader.chunks)
+            self._chunk_records = reader.chunk_record_counts()
 
     def shards(self) -> List[List[int]]:
         """Contiguous chunk-index spans, one per worker (empty spans dropped)."""
@@ -608,6 +726,7 @@ class ParallelReplay:
             policy=self.policy,
             max_parallel=min(self.workers, max(1, len(tasks))),
             lifeguard=self.lifeguard_cls.name,
+            segments=SegmentPool() if self.shared_memory else None,
         )
         outcome = supervisor.run()
         return _merge_results(
@@ -641,6 +760,7 @@ class MultiTraceReplay:
         quarantine: str = "strict",
         policy: Optional[SupervisorPolicy] = None,
         fault_plan=None,
+        shared_memory: Optional[bool] = None,
     ) -> None:
         if not trace_paths:
             raise ValueError("at least one trace path is required")
@@ -652,14 +772,15 @@ class MultiTraceReplay:
         self.quarantine = _validate_quarantine(quarantine)
         self.policy = policy
         self.fault_plan = fault_plan
+        self.shared_memory = (
+            shared_memory_available() if shared_memory is None else bool(shared_memory)
+        )
         self.chunks_per_trace: List[int] = []
         self._chunk_records: List[Tuple[int, ...]] = []
         for path in self.trace_paths:
             with TraceReader(path) as reader:
                 self.chunks_per_trace.append(reader.num_chunks)
-                self._chunk_records.append(
-                    tuple(info.records for info in reader.chunks)
-                )
+                self._chunk_records.append(reader.chunk_record_counts())
         self.num_chunks = sum(self.chunks_per_trace)
 
     def _work_tasks(self, collect_timing: bool = False) -> List[ShardTask]:
@@ -708,6 +829,7 @@ class MultiTraceReplay:
             policy=self.policy,
             max_parallel=processes,
             lifeguard=self.lifeguard_cls.name,
+            segments=SegmentPool() if self.shared_memory else None,
         )
         outcome = supervisor.run()
         return _merge_results(

@@ -1,0 +1,264 @@
+"""Shared-memory column transport for parallel replay.
+
+The original sharded replay shipped nothing to the workers (each re-read
+and re-decoded its chunk span from the trace file) and shipped full
+pickled results back -- and the committed multicore benchmarks showed the
+pickle/pipe costs *inverting* the scaling curve.  This module is the fix's
+transport layer: the parent pre-decodes each shard's chunks into packed
+:class:`~repro.trace.codec.RecordColumns` buffers laid out inside one
+named ``multiprocessing.shared_memory`` segment per shard, and the worker
+attaches and reconstructs zero-copy column views instead of decoding.
+
+Only small picklable *descriptors* cross the process boundary:
+
+* :class:`PackedChunk` -- one chunk's record count plus the
+  :class:`~repro.trace.codec.ColumnLayout` and base offset of its packed
+  columns within the segment;
+* :class:`ShardSegment` -- the segment name, its size and the packed
+  chunks it holds (rides on ``ShardTask.segment``).
+
+Chunks that cannot be packed (damaged bytes, IO errors, values outside
+int64) are simply *absent* from the segment: the worker falls back to the
+classic read-from-file path for exactly those chunks, so strict/degrade
+quarantine semantics are bit-identical with and without shared memory.
+
+Segment lifecycle is owned by the parent's :class:`SegmentPool` (driven by
+the shard supervisor): a segment is created when its shard first launches,
+survives retries, bisection probes and final re-runs of that shard, and is
+unlinked when the shard settles -- with :meth:`SegmentPool.release_all` as
+the backstop on every supervisor exit path (``ReplayError``,
+``KeyboardInterrupt``, normal return).
+
+Resource-tracker note: on the Pythons this repo targets (< 3.13),
+*attaching* to an existing segment also registers it with
+``multiprocessing.resource_tracker``.  Under the ``fork`` start method
+(Linux default, what the shard supervisor uses) every worker shares the
+parent's tracker process and its per-name cache is a set, so attach-side
+registrations collapse into the creator's and the single ``unlink`` by the
+owning :class:`SegmentPool` retires the name exactly once -- no duplicate
+unlinks, no shutdown warnings.  Workers must therefore *not* unregister
+after attaching: doing so would cancel the creator's registration in the
+shared tracker and forfeit crash cleanup.  (Spawn-based attachers would
+need per-process unregistration; this repo does not use spawn.)
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import time
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.trace.codec import ColumnLayout, TraceCodecError
+from repro.trace.tracefile import TraceFormatError, TraceReader
+
+try:  # pragma: no cover - exercised on every supported platform in CI
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - platforms without shm support
+    _shared_memory = None
+
+#: Prefix of every segment this module creates.  The test-suite /dev/shm
+#: leak gate and the CI leak check key on it, so keep it stable.
+SEGMENT_PREFIX = "repro_shm_"
+
+#: Errors that make one chunk unpackable without failing the pre-decode:
+#: damaged bytes and environmental IO keep their in-worker semantics, and
+#: ``ValueError`` is ``to_buffers`` signalling a value outside int64.
+_UNPACKABLE_ERRORS = (TraceFormatError, TraceCodecError, OSError, ValueError)
+
+
+def shared_memory_available() -> bool:
+    """Whether the platform offers ``multiprocessing.shared_memory``."""
+    return _shared_memory is not None
+
+
+def _segment_name() -> str:
+    """A fresh collision-resistant segment name carrying the leak-gate prefix."""
+    return f"{SEGMENT_PREFIX}{os.getpid()}_{secrets.token_hex(4)}"
+
+
+def attach_segment(name: str):
+    """Attach to an existing segment without adopting its ownership.
+
+    The attach-side resource-tracker registration is deliberately left in
+    place: under ``fork`` it is an idempotent duplicate of the creator's
+    (see the module docstring), and removing it would cancel crash
+    cleanup.  Raises ``FileNotFoundError``/``OSError`` when the segment is
+    gone -- callers fall back to reading the trace file.
+    """
+    return _shared_memory.SharedMemory(name=name)
+
+
+@dataclass(frozen=True)
+class PackedChunk:
+    """Descriptor of one chunk's packed columns inside a segment."""
+
+    chunk: int
+    records: int
+    offset: int
+    layout: ColumnLayout
+
+
+@dataclass(frozen=True)
+class ShardSegment:
+    """Picklable descriptor of one shard's shared-memory segment.
+
+    ``chunks`` lists only the chunks that packed cleanly; a worker reads
+    any other chunk of its span from the trace file as before.
+    ``predecode_s`` is the parent-side wall time spent decoding and
+    packing, surfaced in the worker timing breakdown so the decode cost
+    does not silently vanish from the books when it moves to the parent.
+    """
+
+    name: str
+    size: int
+    chunks: Tuple[PackedChunk, ...]
+    predecode_s: float = 0.0
+
+    def chunk_map(self) -> Dict[int, PackedChunk]:
+        """Chunk index -> packed descriptor, for the worker's span loop."""
+        return {packed.chunk: packed for packed in self.chunks}
+
+
+class SegmentPool:
+    """Parent-side pre-decode stage plus segment lifecycle owner.
+
+    One pool serves one supervised replay run.  ``prepare(task)`` packs a
+    shard task's chunks into a fresh segment and returns the task with its
+    ``segment`` descriptor set (or the task unchanged when nothing could
+    be packed); ``release(task)`` unlinks a settled shard's segment; and
+    ``release_all()`` is the run-scoped backstop that must be reached on
+    every exit path.
+
+    The pool never raises out of ``prepare``: any failure (no shm support,
+    segment creation error, damaged chunk) degrades to the classic
+    read-in-worker path, recorded in :meth:`counters`.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled and shared_memory_available()
+        self._segments: Dict[str, object] = {}
+        self._readers: Dict[str, TraceReader] = {}
+        self._counters: Dict[str, int] = {}
+
+    # ----------------------------------------------------------------- helpers
+
+    def _bump(self, name: str, value: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    def counters(self) -> Dict[str, int]:
+        """Lifetime pool counters (merged into the supervision outcome)."""
+        return dict(self._counters)
+
+    def _reader(self, trace_path: str) -> TraceReader:
+        reader = self._readers.get(trace_path)
+        if reader is None:
+            reader = TraceReader(trace_path)
+            self._readers[trace_path] = reader
+        return reader
+
+    # ---------------------------------------------------------------- prepare
+
+    def prepare(self, task):
+        """Pack ``task``'s chunks into a segment; returns the prepared task.
+
+        Idempotent: a task that already carries a segment (shard retries,
+        bisection probes and finals derived from it) is returned as-is, so
+        one shard's attempts all share one segment.
+        """
+        if not self.enabled or getattr(task, "segment", None) is not None:
+            return task
+        start = time.perf_counter()
+        packed: List[Tuple[int, int, ColumnLayout, List[object]]] = []
+        offset = 0
+        try:
+            reader = self._reader(task.trace_path)
+            for position, index in enumerate(task.chunks):
+                if index in task.skip:
+                    continue
+                try:
+                    columns = reader.read_chunk_columns(index)
+                    layout, parts = columns.to_buffers()
+                except _UNPACKABLE_ERRORS:
+                    # Leave the chunk to the worker: it reproduces the
+                    # exact strict-raise / degrade-quarantine behaviour.
+                    self._bump("shm_fallback_chunks")
+                    continue
+                packed.append((index, task.chunk_records[position], layout, parts))
+                offset = ((offset + 7) & ~7) + layout.nbytes
+        except OSError:
+            self._bump("shm_fallback_chunks", len(task.chunks))
+            packed = []
+        if not packed:
+            return task
+        try:
+            segment = _shared_memory.SharedMemory(
+                name=_segment_name(), create=True, size=max(1, offset)
+            )
+        except OSError:
+            self._bump("shm_create_errors")
+            return task
+        chunk_refs: List[PackedChunk] = []
+        base = 0
+        view = segment.buf
+        for index, records, layout, parts in packed:
+            base = (base + 7) & ~7
+            for (name, typecode, field_offset, nbytes), part in zip(layout.fields, parts):
+                if not nbytes:
+                    continue
+                target = view[base + field_offset:base + field_offset + nbytes]
+                target[:] = memoryview(part).cast("B") if typecode == "q" else part
+                target.release()
+            chunk_refs.append(PackedChunk(
+                chunk=index, records=records, offset=base, layout=layout,
+            ))
+            base += layout.nbytes
+        self._segments[segment.name] = segment
+        self._bump("shm_segments")
+        self._bump("shm_bytes", segment.size)
+        self._bump("shm_chunks", len(chunk_refs))
+        descriptor = ShardSegment(
+            name=segment.name,
+            size=segment.size,
+            chunks=tuple(chunk_refs),
+            predecode_s=time.perf_counter() - start,
+        )
+        return replace(task, segment=descriptor)
+
+    # ---------------------------------------------------------------- release
+
+    def release(self, task) -> None:
+        """Unlink the segment of a settled shard task (idempotent)."""
+        descriptor = getattr(task, "segment", None)
+        if descriptor is None:
+            return
+        self._release_name(descriptor.name)
+
+    def _release_name(self, name: str) -> None:
+        segment = self._segments.pop(name, None)
+        if segment is None:
+            return
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - no views escape the pool
+            pass
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+
+    def release_all(self) -> None:
+        """Unlink every live segment and close every reader (backstop).
+
+        Safe to call repeatedly and from ``finally`` blocks; after it
+        returns no segment created by this pool survives in /dev/shm.
+        """
+        for name in list(self._segments):
+            self._release_name(name)
+        for reader in self._readers.values():
+            try:
+                reader.close()
+            except Exception:
+                pass
+        self._readers.clear()

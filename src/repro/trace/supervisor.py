@@ -39,6 +39,16 @@ The supervisor is generic over the task type: tasks must be frozen
 dataclasses exposing ``trace_path``, ``chunks``, ``chunk_records``,
 ``skip`` and ``quarantine`` (see ``repro.trace.replay.ShardTask``), and
 ``runner(task)`` must be a picklable module-level callable.
+
+When constructed with a ``segments`` pool
+(:class:`repro.trace.shm.SegmentPool`) the supervisor also owns the
+shared-memory lifecycle: a shard's chunks are pre-decoded into a named
+segment just before its first launch, every attempt derived from that
+shard (retries, bisection probes, skip-set finals) reuses the same
+segment, the segment is unlinked when the shard settles, and
+``release_all()`` runs on every exit path of :meth:`ShardSupervisor.run`
+-- so neither a ``ReplayError`` nor a ``KeyboardInterrupt`` can leak a
+segment into ``/dev/shm``.
 """
 
 from __future__ import annotations
@@ -232,12 +242,20 @@ class ShardSupervisor:
         policy: Optional[SupervisorPolicy] = None,
         max_parallel: int = 1,
         lifeguard: str = "",
+        segments=None,
     ) -> None:
         self.tasks = list(tasks)
         self.runner = runner
         self.policy = policy or SupervisorPolicy()
         self.max_parallel = max(1, max_parallel)
         self.lifeguard = lifeguard
+        #: Optional :class:`repro.trace.shm.SegmentPool`.  When set, each
+        #: shard's chunks are pre-decoded into a shared-memory segment at
+        #: first launch; retries, bisection probes and finals derived from
+        #: the shard reuse the same segment, and the supervisor unlinks it
+        #: when the shard settles -- with ``release_all`` as the backstop
+        #: on every exit path of :meth:`run`.
+        self.segments = segments
         self._queue: List[_Pending] = []
         self._running: List[_Running] = []
         self._outcome = SupervisorOutcome()
@@ -262,7 +280,14 @@ class ShardSupervisor:
                 if not progressed:
                     time.sleep(self.policy.poll_seconds)
         finally:
+            # Every exit path -- success, ReplayError, KeyboardInterrupt --
+            # must leave no child process and no shared-memory segment.
             self._terminate_all()
+            if self.segments is not None:
+                self.segments.release_all()
+                for name, value in self.segments.counters().items():
+                    if value:
+                        self._outcome.counters[name] = value
         return self._outcome
 
     def _launch_ready(self) -> None:
@@ -274,22 +299,27 @@ class ShardSupervisor:
             if index is None:
                 return
             pending = self._queue.pop(index)
+            pending.task = self._prepare_task(pending.task)
             parent_conn, child_conn = multiprocessing.Pipe(duplex=False)
             process = multiprocessing.Process(
                 target=_child_main,
                 args=(self.runner, pending.task, child_conn),
                 daemon=True,
             )
+            # The launch stamp is taken immediately before the process
+            # starts so a result's (received - launched) interval measures
+            # exactly spawn + task hand-off + compute + result return.
+            started = time.monotonic()
             process.start()
             child_conn.close()
             deadline = (
                 None
                 if self.policy.timeout_seconds is None
-                else now + self.policy.timeout_seconds
+                else started + self.policy.timeout_seconds
             )
             if pending.phase == "probe":
                 self._outcome.bump("bisect_probes")
-            self._running.append(_Running(pending, process, parent_conn, now, deadline))
+            self._running.append(_Running(pending, process, parent_conn, started, deadline))
 
     def _poll_running(self) -> bool:
         progressed = False
@@ -302,10 +332,18 @@ class ShardSupervisor:
                 except EOFError:
                     message = None
             if message is not None:
+                received = time.monotonic()
                 self._reap(running)
                 progressed = True
                 if message[0] == "ok":
-                    self._on_success(running.pending, message[1])
+                    result = message[1]
+                    timing = getattr(result, "timing", None)
+                    if timing is not None:
+                        # Per-shard hand-off/arrival stamps: what
+                        # _worker_timings turns into this shard's ipc_s.
+                        timing["mono_launched"] = running.started
+                        timing["mono_received"] = received
+                    self._on_success(running.pending, result)
                 else:
                     _tag, type_name, text, retryable = message
                     self._on_failure(
@@ -356,6 +394,28 @@ class ShardSupervisor:
             running.conn.close()
         self._running = []
 
+    # ---------------------------------------------------------------- segments
+
+    def _prepare_task(self, task):
+        """Pre-decode a shard's chunks into a shared-memory segment.
+
+        Idempotent across a shard's retries/probes/finals (the pool keys on
+        the task's existing descriptor) and never fails the launch: any
+        pre-decode error degrades to the classic decode-in-worker path.
+        """
+        if self.segments is None:
+            return task
+        try:
+            return self.segments.prepare(task)
+        except Exception:
+            self._outcome.bump("shm_prepare_errors")
+            return task
+
+    def _release_segment(self, task) -> None:
+        """Unlink a settled shard's segment (no-op without a pool)."""
+        if self.segments is not None:
+            self.segments.release(task)
+
     # ------------------------------------------------------------------ events
 
     def _on_success(self, pending: _Pending, result) -> None:
@@ -363,6 +423,7 @@ class ShardSupervisor:
             self._probe_settled(pending.group)
         else:
             self._outcome.results.append(result)
+            self._release_segment(pending.task)
 
     def _on_failure(
         self,
@@ -479,6 +540,7 @@ class ShardSupervisor:
             started = time.monotonic()
             try:
                 self._outcome.results.append(self.runner(task))
+                self._release_segment(task)
                 return
             except OSError as exc:
                 self._outcome.failures.append(
@@ -512,6 +574,7 @@ class ShardSupervisor:
                         detail=f"{kind} after {pending.attempts} attempt(s): {detail}",
                     )
                 )
+            self._release_segment(task)
             return
         raise ReplayError(
             f"shard chunks {list(task.chunks)} of {task.trace_path} failed "

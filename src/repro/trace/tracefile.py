@@ -33,7 +33,7 @@ import struct
 import time
 import zlib
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Union
+from typing import Iterator, List, Optional, Tuple, Union
 
 from repro.core.events import AnnotationRecord, InstructionRecord
 from repro.obs.runtime import OBS
@@ -439,6 +439,15 @@ class TraceReader:
         if OBS.recorder is not None:
             OBS.recorder.record_chunk_decoded(self.chunks[index].records)
         return columns
+
+    def chunk_record_counts(self) -> Tuple[int, ...]:
+        """Record count per chunk, in index order.
+
+        The sharding layers carry these counts on every
+        :class:`~repro.trace.replay.ShardTask` so quarantine accounting
+        never needs to re-open the trace in the parent or the workers.
+        """
+        return tuple(info.records for info in self.chunks)
 
     def iter_records(self) -> Iterator[Record]:
         """Yield every record of the trace in order."""

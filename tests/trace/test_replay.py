@@ -10,6 +10,7 @@ stat for stat.
 import os
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core.config import BASELINE_CONFIG, OPTIMIZED_CONFIG
 from repro.isa.machine import Machine
@@ -22,6 +23,7 @@ from repro.trace.replay import (
     MAX_DEFAULT_WORKERS,
     MultiTraceReplay,
     ParallelReplay,
+    _contiguous_spans,
     default_workers,
     replay_trace,
 )
@@ -140,6 +142,42 @@ class TestParallelReplay:
         path, _ = capture(tmp_path, build_copy_loop(8), AddrCheck())
         with pytest.raises(KeyError, match="unknown lifeguard"):
             replay_trace(path, "NotALifeguard")
+
+
+class TestContiguousSpans:
+    """Properties of the chunk partitioner every shard plan relies on."""
+
+    @given(num_chunks=st.integers(0, 500), workers=st.integers(1, 64))
+    @settings(max_examples=60, deadline=None)
+    def test_spans_partition_chunk_range_exactly(self, num_chunks, workers):
+        spans = _contiguous_spans(num_chunks, workers)
+        # Exact partition, order preserved: concatenating the spans yields
+        # range(num_chunks), so every chunk is replayed exactly once and
+        # chunk order (hence merge determinism) is preserved.
+        assert [index for span in spans for index in span] == list(range(num_chunks))
+
+    @given(num_chunks=st.integers(0, 500), workers=st.integers(1, 64))
+    @settings(max_examples=60, deadline=None)
+    def test_span_count_and_balance(self, num_chunks, workers):
+        spans = _contiguous_spans(num_chunks, workers)
+        # Never more spans than workers or chunks, never an empty span
+        # (workers > num_chunks collapses to one span per chunk), and the
+        # load is balanced to within one chunk.
+        assert len(spans) == min(workers, num_chunks)
+        assert all(spans)
+        if spans:
+            sizes = [len(span) for span in spans]
+            assert max(sizes) - min(sizes) <= 1
+
+    @given(num_chunks=st.integers(1, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_each_span_is_contiguous(self, num_chunks):
+        for workers in (1, 2, 3, num_chunks, num_chunks + 7):
+            for span in _contiguous_spans(num_chunks, workers):
+                assert span == list(range(span[0], span[-1] + 1))
+
+    def test_empty_trace_yields_no_spans(self):
+        assert _contiguous_spans(0, 8) == []
 
 
 class TestMultiTraceReplay:
