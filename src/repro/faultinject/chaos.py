@@ -289,6 +289,348 @@ def scenario_truncation_detected(ctx: ChaosContext) -> Dict[str, object]:
     raise ChaosViolation("truncated trace opened without error")
 
 
+# ------------------------------------------------------------ gateway scenarios
+#
+# The monitoring gateway (:mod:`repro.service`) stacks session lifecycle,
+# backpressure and crash recovery on top of supervised replay.  These
+# scenarios drive a real in-process gateway over real sockets and assert
+# the service-level invariants: per-session outcomes are exact, and one
+# tenant's fault never bleeds into another's session ("zero cross-session
+# blast radius").  Report bit-identity is judged against the offline
+# sharded-sequential reference (``ctx.baseline``) -- the same worker-count
+# sharding the gateway replays with, which the replay layer guarantees is
+# bit-for-bit equal to its supervised parallel run.
+
+
+def _gateway_config(ctx: ChaosContext, store: str, **overrides) -> "GatewayConfig":
+    import dataclasses
+
+    from repro.service.gateway import GatewayConfig
+
+    defaults = dict(
+        store_dir=store,
+        lifeguard=CHAOS_LIFEGUARD,
+        pool_size=2,
+        workers_per_session=ctx.workers,
+        # forkserver: the gateway parent is threaded (see GatewayConfig).
+        policy=dataclasses.replace(_policy(timeout=30.0), start_method="forkserver"),
+        drain_grace=60.0,
+    )
+    defaults.update(overrides)
+    return GatewayConfig(**defaults)
+
+
+def _run_gateway(ctx: ChaosContext, name: str, body, **overrides) -> Dict[str, object]:
+    """Start a gateway on a scenario-private store, run ``body``, drain."""
+    import asyncio
+
+    from repro.service.gateway import MonitoringGateway
+
+    store = os.path.join(ctx.workdir, f"gw_{name}")
+    config = _gateway_config(ctx, store, **overrides)
+
+    async def runner():
+        gateway = MonitoringGateway(config)
+        await gateway.start()
+        try:
+            return await asyncio.wait_for(body(gateway), timeout=240.0)
+        finally:
+            await gateway.drain()
+
+    return asyncio.run(runner())
+
+
+def _result_section(reply: Dict[str, object]) -> Dict[str, object]:
+    report = reply.get("report") or {}
+    return report.get("result") or {}
+
+
+def scenario_gateway_worker_sigkill(ctx: ChaosContext) -> Dict[str, object]:
+    """A replay worker SIGKILL'd mid-stream is invisible to the tenant.
+
+    The victim session's report must be bit-identical to the offline
+    baseline, the crash must be visible in its supervision section, and a
+    bystander session uploading concurrently must settle clean.
+    """
+    from repro.service.client import upload_trace
+
+    victim_chunk = ctx.target_chunk("gw_sigkill")
+    state_dir = ctx.state_dir("gw_sigkill")
+
+    def fault_plan_factory(session_id: str):
+        if session_id != "victim":
+            return None
+        return FaultPlan.single(state_dir, "sigkill", victim_chunk, times=1)
+
+    async def body(gateway):
+        import asyncio
+
+        return await asyncio.gather(
+            upload_trace("127.0.0.1", gateway.port, ctx.trace_path,
+                         session_id="victim"),
+            upload_trace("127.0.0.1", gateway.port, ctx.trace_path,
+                         session_id="bystander"),
+        )
+
+    victim, bystander = _run_gateway(
+        ctx, "sigkill", body, fault_plan_factory=fault_plan_factory
+    )
+    baseline = _offline_result_section(ctx)
+    for reply in (victim, bystander):
+        _check(reply.get("state") == "settled",
+               f"session {reply.get('session_id')} did not settle: {reply}")
+        _check(_result_section(reply) == baseline,
+               f"session {reply.get('session_id')} report diverged from offline replay")
+    supervision = victim["report"]["supervision"]
+    _check(supervision["fault_counters"].get("worker_crashes", 0) >= 1,
+           f"victim supervision missing the crash: {supervision}")
+    _check(victim.get("worker_failures", 0) >= 1,
+           "victim session machine did not count the worker failure")
+    bystander_sup = bystander["report"]["supervision"]
+    _check(bystander_sup["fault_counters"].get("worker_crashes", 0) == 0,
+           f"bystander saw a crash that was not its own: {bystander_sup}")
+    return {
+        "victim_chunk": victim_chunk,
+        "victim_counters": supervision["fault_counters"],
+    }
+
+
+def _offline_result_section(ctx: ChaosContext) -> Dict[str, object]:
+    from repro.service.gateway import report_document
+
+    return report_document(ctx.baseline)["result"]
+
+
+def scenario_gateway_corrupt_upload(ctx: ChaosContext) -> Dict[str, object]:
+    """Corrupt uploaded chunks are quarantined exactly, per session policy.
+
+    A ``degrade`` tenant settles with exactly the damaged chunk skipped; a
+    ``strict`` tenant is failed at commit with an error naming the chunk;
+    a clean bystander is untouched by either.
+    """
+    from repro.service.client import GatewayError, upload_trace
+
+    corrupt_path = ctx.trace_copy("gw_corrupt")
+    chunk = ctx.target_chunk("gw_corrupt")
+    flip_chunk_bytes(corrupt_path, chunk, seed=ctx.seed)
+
+    async def body(gateway):
+        import asyncio
+
+        degrade, clean = await asyncio.gather(
+            upload_trace("127.0.0.1", gateway.port, corrupt_path,
+                         session_id="degrade", quarantine="degrade"),
+            upload_trace("127.0.0.1", gateway.port, ctx.trace_path,
+                         session_id="clean"),
+        )
+        try:
+            strict = await upload_trace(
+                "127.0.0.1", gateway.port, corrupt_path,
+                session_id="strict", quarantine="strict",
+            )
+        except GatewayError as exc:
+            strict = dict(exc.reply)
+        return degrade, clean, strict
+
+    degrade, clean, strict = _run_gateway(ctx, "corrupt", body)
+    _check(degrade.get("state") == "settled",
+           f"degrade session did not settle: {degrade}")
+    skipped = [c["chunk"] for c in _result_section(degrade)["skipped_chunks"]]
+    _check(skipped == [chunk],
+           f"degrade session quarantined {skipped}, expected exactly [{chunk}]")
+    _check(
+        _result_section(degrade)["skipped_records"] == ctx.chunk_records[chunk],
+        "degrade quarantine record accounting wrong",
+    )
+    _check(strict.get("state") == "failed",
+           f"strict session should fail at commit: {strict}")
+    reason = strict.get("reason", "") or strict.get("error", "")
+    _check(str(chunk) in reason,
+           f"strict failure does not name chunk {chunk}: {reason!r}")
+    _check(clean.get("state") == "settled" and
+           _result_section(clean) == _offline_result_section(ctx),
+           "clean bystander affected by other tenants' corruption")
+    return {"corrupt_chunk": chunk, "strict_reason": reason}
+
+
+def scenario_gateway_hanging_client(ctx: ChaosContext) -> Dict[str, object]:
+    """A client that stalls mid-upload is reaped; other tenants never wait."""
+    from repro.service.client import GatewayClient, upload_trace
+
+    async def body(gateway):
+        import asyncio
+
+        hanging = GatewayClient("127.0.0.1", gateway.port)
+        await hanging.connect()
+        await hanging.begin(session_id="hanging")
+        with open(ctx.trace_path, "rb") as handle:
+            await hanging.send_chunk("hanging", handle.read(4096))
+        # ... and then silence: no more chunks, no commit, socket open.
+        healthy = await upload_trace(
+            "127.0.0.1", gateway.port, ctx.trace_path, session_id="healthy"
+        )
+        # The reaper must fail the hung session on its own clock.
+        deadline = asyncio.get_running_loop().time() + 30.0
+        while asyncio.get_running_loop().time() < deadline:
+            session = gateway.sessions["hanging"]
+            if session.machine.closed:
+                break
+            await asyncio.sleep(0.05)
+        status = gateway.sessions["hanging"].status()
+        await hanging.close()
+        return healthy, status, dict(gateway.counters)
+
+    healthy, hung_status, counters = _run_gateway(
+        ctx, "hanging", body,
+        session_idle_timeout=0.6, reap_interval=0.1,
+    )
+    _check(healthy.get("state") == "settled" and
+           _result_section(healthy) == _offline_result_section(ctx),
+           f"healthy tenant was impacted by the hanging client: {healthy.get('state')}")
+    _check(hung_status["state"] == "failed" and "idle" in hung_status["reason"],
+           f"hanging session not reaped: {hung_status}")
+    _check(counters.get("sessions_timed_out", 0) >= 1,
+           f"timeout not counted: {counters}")
+    return {"hung_status": hung_status}
+
+
+def scenario_gateway_pool_exhaustion(ctx: ChaosContext) -> Dict[str, object]:
+    """Admission control sheds past capacity and recovers after release."""
+    from repro.service.client import GatewayClient, GatewayError
+
+    async def body(gateway):
+        a = GatewayClient("127.0.0.1", gateway.port)
+        b = GatewayClient("127.0.0.1", gateway.port)
+        c = GatewayClient("127.0.0.1", gateway.port)
+        await a.connect()
+        await b.connect()
+        await c.connect()
+        try:
+            await a.begin(session_id="tenant-a")
+            await b.begin(session_id="tenant-b")
+            try:
+                await c.begin(session_id="tenant-c")
+                shed = None
+            except GatewayError as exc:
+                shed = exc.reply
+            ready_full = await c.ready()
+            await a.cancel("tenant-a")
+            ready_after = await c.ready()
+            after = await c.begin(session_id="tenant-c")
+            return shed, ready_full, after, ready_after, dict(gateway.counters)
+        finally:
+            await a.close()
+            await b.close()
+            await c.close()
+
+    shed, ready_full, after, ready_after, counters = _run_gateway(
+        ctx, "exhaustion", body, max_sessions=2,
+    )
+    _check(shed is not None and shed.get("code") == 503,
+           f"third session was not shed with 503: {shed}")
+    _check(not ready_full.get("ready"), "readiness probe did not report saturation")
+    _check(after.get("ok"), f"admission did not recover after release: {after}")
+    _check(ready_after.get("ready"), "readiness probe stuck after release")
+    _check(counters.get("sessions_shed", 0) >= 1, f"shed not counted: {counters}")
+    return {"shed": shed, "counters": counters}
+
+
+def scenario_gateway_drain_recovers(ctx: ChaosContext) -> Dict[str, object]:
+    """SIGTERM-style drain + restart loses nothing.
+
+    One gateway checkpoints a half-finished upload on drain; the store is
+    additionally seeded with two crash shapes -- a committed trace whose
+    replay never ran, and a committed trace truncated mid-footer.  A
+    second gateway on the same store must resume the upload at its exact
+    byte offset, replay the committed trace to a baseline-identical
+    report, and repair + settle the truncated one.
+    """
+    import asyncio
+    import shutil as _shutil
+
+    from repro.service.client import GatewayClient, upload_trace
+    from repro.service.session import SessionState
+    from repro.service.store import SessionStore
+
+    store_dir = os.path.join(ctx.workdir, "gw_drain_store")
+    trace_bytes = open(ctx.trace_path, "rb").read()
+    half = len(trace_bytes) // 2
+
+    async def first_life(gateway):
+        client = GatewayClient("127.0.0.1", gateway.port)
+        await client.connect()
+        await client.begin(session_id="partial")
+        # Transport step well under half the file, so the checkpointed
+        # upload is genuinely partial regardless of trace size.
+        step = max(64, half // 4)
+        chunks = [trace_bytes[start:start + step] for start in range(0, half, step)]
+        for payload in chunks:
+            await client.send_chunk("partial", payload)
+        sent = sum(len(payload) for payload in chunks)
+        # Wait until every sent byte is persisted, so the checkpointed
+        # resume offset is exact (not racing the ingest queue).
+        deadline = asyncio.get_running_loop().time() + 30.0
+        while asyncio.get_running_loop().time() < deadline:
+            if gateway.sessions["partial"].meta.bytes_received >= sent:
+                break
+            await asyncio.sleep(0.02)
+        await client.close()
+        return gateway.sessions["partial"].meta.bytes_received
+
+    uploaded = _run_gateway(ctx, "drain_store", first_life, store_dir=store_dir)
+    _check(uploaded > 0, "first gateway persisted no upload bytes")
+
+    # Seed two crash shapes directly into the (now quiescent) store.
+    store = SessionStore(store_dir)
+    meta = store.create("committed")
+    _shutil.copyfile(ctx.trace_path, store.trace_path("committed"))
+    meta.state = SessionState.REPLAYING.value
+    store.save_meta(meta)
+    meta = store.create("truncated")
+    _shutil.copyfile(ctx.trace_path, store.trace_path("truncated"))
+    trace_size = os.path.getsize(store.trace_path("truncated"))
+    truncate_trace(str(store.trace_path("truncated")), keep_bytes=trace_size - 6)
+    meta.state = SessionState.REPLAYING.value
+    store.save_meta(meta)
+
+    async def second_life(gateway):
+        partial = gateway.sessions["partial"]
+        resume_offset = partial.resume_offset
+        reply = await upload_trace(
+            "127.0.0.1", gateway.port, ctx.trace_path, session_id="partial",
+        )
+        for session_id in ("committed", "truncated"):
+            await asyncio.wait_for(
+                gateway.sessions[session_id].done.wait(), timeout=120.0
+            )
+        async with GatewayClient("127.0.0.1", gateway.port) as admin:
+            committed = await admin.report("committed")
+            truncated = await admin.report("truncated")
+        return resume_offset, reply, committed, truncated, dict(gateway.counters)
+
+    resume_offset, resumed, committed, truncated, counters = _run_gateway(
+        ctx, "drain_restart", second_life, store_dir=store_dir,
+    )
+    _check(resume_offset == uploaded,
+           f"resume offset {resume_offset} != checkpointed bytes {uploaded}")
+    baseline = _offline_result_section(ctx)
+    _check(resumed.get("state") == "settled" and _result_section(resumed) == baseline,
+           "resumed session did not settle to the baseline report")
+    _check(committed.get("state") == "settled" and
+           _result_section(committed) == baseline,
+           "recovered committed session did not settle to the baseline report")
+    _check(truncated.get("state") == "settled",
+           f"truncated session not repaired + settled: {truncated.get('state')}")
+    _check(_result_section(truncated)["records"] == ctx.baseline.records,
+           "mid-footer repair should keep every chunk's records")
+    _check(counters.get("sessions_recovered", 0) >= 3,
+           f"recovery counter too low: {counters}")
+    return {
+        "resume_offset": resume_offset,
+        "recovered": counters.get("sessions_recovered", 0),
+    }
+
+
 #: Scenario registry, in execution order.
 SCENARIOS: Dict[str, Callable[[ChaosContext], Dict[str, object]]] = {
     "sigkill_recovers": scenario_sigkill_recovers,
@@ -300,6 +642,11 @@ SCENARIOS: Dict[str, Callable[[ChaosContext], Dict[str, object]]] = {
     "corrupt_degrade": scenario_corrupt_degrade,
     "corrupt_strict": scenario_corrupt_strict,
     "truncation_detected": scenario_truncation_detected,
+    "gateway_worker_sigkill": scenario_gateway_worker_sigkill,
+    "gateway_corrupt_upload": scenario_gateway_corrupt_upload,
+    "gateway_hanging_client": scenario_gateway_hanging_client,
+    "gateway_pool_exhaustion": scenario_gateway_pool_exhaustion,
+    "gateway_drain_recovers": scenario_gateway_drain_recovers,
 }
 
 

@@ -26,7 +26,10 @@ from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, promet
 from repro.obs.pipeline import (
     REQUIRED_ACCELERATOR_COUNTERS,
     REQUIRED_REPLAY_COUNTERS,
+    REQUIRED_SERVICE_COUNTERS,
     collect_pipeline,
+    collect_service,
+    collect_sharded_replay,
     snapshot_document,
     validate_snapshot,
 )
@@ -41,8 +44,11 @@ __all__ = [
     "OBS",
     "REQUIRED_ACCELERATOR_COUNTERS",
     "REQUIRED_REPLAY_COUNTERS",
+    "REQUIRED_SERVICE_COUNTERS",
     "SpanTracer",
     "collect_pipeline",
+    "collect_service",
+    "collect_sharded_replay",
     "disable",
     "enable",
     "observed",

@@ -70,6 +70,21 @@ REQUIRED_REPLAY_COUNTERS = (
     "replay.shm_fallback_chunks",
 )
 
+#: Gateway counters every *service* snapshot must carry -- the
+#: multi-tenant health story (admission, shedding, quarantine, recovery,
+#: ingest volume).  Required only when the snapshot's ``meta.source`` is
+#: ``"service"``, so replay/benchmark snapshots keep their schema.
+REQUIRED_SERVICE_COUNTERS = (
+    "service.sessions_admitted",
+    "service.sessions_shed",
+    "service.sessions_settled",
+    "service.sessions_failed",
+    "service.sessions_quarantined",
+    "service.sessions_recovered",
+    "service.chunks_received",
+    "service.bytes_received",
+)
+
 
 class PipelineRecorder:
     """Preallocated hot-loop accumulators, flushed to a registry later.
@@ -389,6 +404,31 @@ def collect_sharded_replay(registry: MetricsRegistry, result, details) -> Metric
     return registry
 
 
+def collect_service(
+    registry: MetricsRegistry,
+    counters: Dict[str, int],
+    last: Optional[Dict[str, int]] = None,
+) -> MetricsRegistry:
+    """Fold the gateway's service counters into ``registry``.
+
+    The gateway keeps plain monotonically-growing ints (cheap to bump on
+    the event loop); registry counters are inc-only, so this emits the
+    *delta* since the previous flush.  ``last`` is the caller-owned
+    flush watermark, updated in place -- pass the same dict every time.
+    Always emits every :data:`REQUIRED_SERVICE_COUNTERS` name so service
+    snapshots validate even before the first session arrives.
+    """
+    for name in REQUIRED_SERVICE_COUNTERS:
+        registry.counter(name)
+    watermark = last if last is not None else {}
+    for key, value in counters.items():
+        delta = value - watermark.get(key, 0)
+        if delta > 0:
+            registry.counter(f"service.{key}").inc(delta)
+        watermark[key] = value
+    return registry
+
+
 # -------------------------------------------------------------------- document
 
 
@@ -427,6 +467,11 @@ def validate_snapshot(document: Dict[str, object]) -> List[str]:
         for name in REQUIRED_REPLAY_COUNTERS:
             if name not in counters:
                 problems.append(f"missing required replay counter {name!r}")
+        meta = document.get("meta")
+        if isinstance(meta, dict) and meta.get("source") == "service":
+            for name in REQUIRED_SERVICE_COUNTERS:
+                if name not in counters:
+                    problems.append(f"missing required service counter {name!r}")
     histograms = document.get("histograms")
     if isinstance(histograms, dict):
         for name, data in histograms.items():

@@ -1,0 +1,219 @@
+"""Per-session lifecycle: an explicit, misuse-proof state machine.
+
+Every monitoring session the gateway accepts moves through::
+
+    accepting --commit--> replaying --replay_ok--> reporting --report_ok--> settled
+        |                     |                        |
+        +---- cancel/fail ----+------------------------+--------> failed
+
+plus one *machine-local* disposition, ``checkpointed``: a graceful drain
+(or process shutdown) releases the session's live resources without
+deciding its logical outcome -- the persisted state is what crash
+recovery resumes from.
+
+The machine is deliberately pure (no asyncio, no IO): the gateway drives
+it from its event loop, the store persists :attr:`SessionMachine.state`,
+and the Hypothesis property suite drives it with arbitrary event
+interleavings to prove two invariants the whole service leans on:
+
+* any interleaving of upload / cancel / worker-failure / shutdown events
+  ends in **exactly one** terminal disposition, after which every further
+  event is a no-op;
+* the session's release hooks (bounded ingest queue, store handles) run
+  **exactly once**, exactly when the machine closes.
+
+Invalid events (a ``chunk`` after commit, a ``replay_ok`` while still
+accepting) are *rejected*, not raised: :meth:`SessionMachine.apply`
+returns ``False`` and counts the rejection, so a confused or malicious
+client can never wedge a session into an undefined state.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable, List, Optional, Tuple
+
+
+class SessionState(str, Enum):
+    """Logical lifecycle states persisted to the session store."""
+
+    ACCEPTING = "accepting"
+    REPLAYING = "replaying"
+    REPORTING = "reporting"
+    SETTLED = "settled"
+    FAILED = "failed"
+
+
+#: States from which no event causes any further transition.
+TERMINAL_STATES = frozenset({SessionState.SETTLED, SessionState.FAILED})
+
+#: Every event :meth:`SessionMachine.apply` understands.
+SESSION_EVENTS = (
+    "chunk",        # one upload chunk arrived (accepting only)
+    "commit",       # upload complete: accepting -> replaying
+    "replay_ok",    # replay finished: replaying -> reporting
+    "replay_fail",  # replay unrecoverable: replaying -> failed
+    "report_ok",    # report persisted: reporting -> settled
+    "report_fail",  # report could not be written: reporting -> failed
+    "worker_fail",  # a replay worker died but was retried (no transition)
+    "cancel",       # client cancelled: any open state -> failed
+    "fail",         # gateway-detected fatal problem: any open state -> failed
+    "shutdown",     # graceful drain: checkpoint, release resources
+)
+
+
+class SessionMachine:
+    """The lifecycle state of one monitoring session.
+
+    ``release_hooks`` are callables invoked exactly once when the machine
+    *closes* -- on reaching a terminal state or being checkpointed by a
+    shutdown -- releasing whatever live resources the session holds
+    (bounded ingest queue, drain task, store handles).  Hook exceptions
+    are swallowed into :attr:`release_errors`: resource release must
+    never mask the transition that triggered it.
+    """
+
+    __slots__ = (
+        "session_id",
+        "state",
+        "checkpointed",
+        "released",
+        "reason",
+        "worker_failures",
+        "rejected_events",
+        "release_hooks",
+        "release_errors",
+    )
+
+    def __init__(
+        self,
+        session_id: str,
+        state: SessionState = SessionState.ACCEPTING,
+        release_hooks: Optional[List[Callable[[], None]]] = None,
+    ) -> None:
+        self.session_id = session_id
+        self.state = SessionState(state)
+        self.checkpointed = False
+        self.released = False
+        self.reason = ""
+        self.worker_failures = 0
+        self.rejected_events = 0
+        self.release_hooks: List[Callable[[], None]] = list(release_hooks or [])
+        self.release_errors: List[str] = []
+        if self.state in TERMINAL_STATES:
+            # Rehydrated straight into a terminal state (recovery of a
+            # settled/failed session): there is nothing live to hold.
+            self._release()
+
+    # ------------------------------------------------------------------ queries
+
+    @property
+    def terminal(self) -> bool:
+        """True once the session reached ``settled`` or ``failed``."""
+        return self.state in TERMINAL_STATES
+
+    @property
+    def closed(self) -> bool:
+        """True once no further event can have any effect."""
+        return self.terminal or self.checkpointed
+
+    def add_release_hook(self, hook: Callable[[], None]) -> None:
+        """Register a resource-release hook; fires immediately if closed."""
+        if self.closed:
+            self._run_hook(hook)
+        else:
+            self.release_hooks.append(hook)
+
+    # ------------------------------------------------------------------ driving
+
+    def apply(self, event: str, reason: str = "") -> bool:
+        """Feed one event; returns True when it caused a change.
+
+        Unknown events raise ``ValueError`` (a programming error); events
+        that are merely invalid *in the current state* are counted in
+        :attr:`rejected_events` and return ``False`` -- a hostile client
+        replaying stale commands cannot corrupt the lifecycle.
+        """
+        if event not in SESSION_EVENTS:
+            raise ValueError(f"unknown session event {event!r}")
+        if self.closed:
+            return False
+        if event == "chunk":
+            return self._expect(SessionState.ACCEPTING, None)
+        if event == "commit":
+            return self._expect(SessionState.ACCEPTING, SessionState.REPLAYING)
+        if event == "replay_ok":
+            return self._expect(SessionState.REPLAYING, SessionState.REPORTING)
+        if event == "replay_fail":
+            return self._expect(SessionState.REPLAYING, SessionState.FAILED, reason)
+        if event == "report_ok":
+            return self._expect(SessionState.REPORTING, SessionState.SETTLED)
+        if event == "report_fail":
+            return self._expect(SessionState.REPORTING, SessionState.FAILED, reason)
+        if event == "worker_fail":
+            if self.state is not SessionState.REPLAYING:
+                self.rejected_events += 1
+                return False
+            self.worker_failures += 1
+            return True
+        if event in ("cancel", "fail"):
+            self.reason = reason or ("cancelled by client" if event == "cancel"
+                                     else "failed by gateway")
+            self._enter(SessionState.FAILED)
+            return True
+        # shutdown: checkpoint in place -- the persisted state survives for
+        # crash recovery, the live resources do not.
+        self.checkpointed = True
+        self.reason = reason or self.reason
+        self._release()
+        return True
+
+    # ----------------------------------------------------------------- internal
+
+    def _expect(
+        self,
+        expected: SessionState,
+        target: Optional[SessionState],
+        reason: str = "",
+    ) -> bool:
+        if self.state is not expected:
+            self.rejected_events += 1
+            return False
+        if target is None:
+            return True
+        if reason:
+            self.reason = reason
+        self._enter(target)
+        return True
+
+    def _enter(self, state: SessionState) -> None:
+        self.state = state
+        if state in TERMINAL_STATES:
+            self._release()
+
+    def _release(self) -> None:
+        if self.released:
+            return
+        self.released = True
+        hooks, self.release_hooks = self.release_hooks, []
+        for hook in hooks:
+            self._run_hook(hook)
+
+    def _run_hook(self, hook: Callable[[], None]) -> None:
+        try:
+            hook()
+        except Exception as exc:  # noqa: BLE001 -- release must never mask the transition
+            self.release_errors.append(f"{type(exc).__name__}: {exc}")
+
+    def __repr__(self) -> str:  # pragma: no cover -- debugging aid
+        disposition = "checkpointed" if self.checkpointed else self.state.value
+        return f"SessionMachine({self.session_id!r}, {disposition})"
+
+
+def replay_history(
+    machine: SessionMachine, events: Tuple[str, ...]
+) -> SessionMachine:
+    """Apply an event sequence (test helper for interleaving properties)."""
+    for event in events:
+        machine.apply(event)
+    return machine

@@ -55,7 +55,9 @@ from __future__ import annotations
 
 import dataclasses
 import multiprocessing
+import random
 import time
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -103,6 +105,24 @@ class SupervisorPolicy:
     in_process_fallback: bool = True
     #: Supervision loop poll interval.
     poll_seconds: float = 0.02
+    #: Fractional jitter applied to each backoff delay, spreading the
+    #: retries of simultaneously-failing shards so they do not stampede a
+    #: shared resource (disk, segment pool, gateway worker slot) in
+    #: lockstep.  ``0.25`` means each delay lands uniformly in
+    #: ``[0.75x, 1.25x]`` of the exponential schedule.  The jitter is
+    #: *seeded*: a fixed :attr:`jitter_seed` plus the caller's ``salt``
+    #: (shard identity) and the attempt number fully determine every
+    #: delay, so retry schedules are reproducible run after run.
+    backoff_jitter: float = 0.0
+    #: Seed anchoring the deterministic jitter sequence.
+    jitter_seed: int = 0
+    #: ``multiprocessing`` start method for worker processes (``None`` =
+    #: platform default).  Callers that spawn replays from *threaded*
+    #: parents (the monitoring gateway's executor) should use
+    #: ``"forkserver"``: plain ``fork`` from a multi-threaded process can
+    #: clone held locks into the child and deadlock it, which then costs a
+    #: full attempt timeout to recover.
+    start_method: Optional[str] = None
 
     def attempts_for(self, phase: str) -> int:
         """Probes get one fewer attempt: they exist to fail fast."""
@@ -110,9 +130,22 @@ class SupervisorPolicy:
             return max(1, self.max_attempts - 1)
         return self.max_attempts
 
-    def backoff_for(self, attempt: int) -> float:
-        """Delay before retry number ``attempt`` (1-based)."""
-        return self.backoff_seconds * (self.backoff_multiplier ** max(0, attempt - 1))
+    def backoff_for(self, attempt: int, salt: int = 0) -> float:
+        """Delay before retry number ``attempt`` (1-based) of shard ``salt``.
+
+        ``salt`` distinguishes shards retrying at the same attempt number:
+        with jitter enabled, distinct salts draw distinct (but seeded,
+        hence reproducible) delays from the same exponential base.
+        """
+        delay = self.backoff_seconds * (self.backoff_multiplier ** max(0, attempt - 1))
+        if self.backoff_jitter:
+            if not 0.0 < self.backoff_jitter <= 1.0:
+                raise ValueError(
+                    f"backoff_jitter must be in (0, 1], got {self.backoff_jitter}"
+                )
+            rng = random.Random(f"{self.jitter_seed}:{salt}:{attempt}")
+            delay *= 1.0 + self.backoff_jitter * (2.0 * rng.random() - 1.0)
+        return max(0.0, delay)
 
 
 @dataclass(frozen=True)
@@ -216,6 +249,19 @@ class _BisectGroup:
         self.poison: List[Tuple[int, int]] = []  # (chunk, records)
 
 
+def _shard_salt(task) -> int:
+    """Deterministic per-shard jitter salt (stable across processes/runs).
+
+    ``hash()`` is randomized per interpreter, so the salt is a CRC32 of
+    the shard's identity instead -- the same shard always draws the same
+    jittered backoff schedule.
+    """
+    chunks = getattr(task, "chunks", ())
+    first = chunks[0] if chunks else -1
+    identity = f"{getattr(task, 'trace_path', '')}:{first}:{len(chunks)}"
+    return zlib.crc32(identity.encode())
+
+
 def _effective_chunks(task) -> List[Tuple[int, int]]:
     """(chunk, records) pairs of a task minus its skip set."""
     return [
@@ -256,6 +302,11 @@ class ShardSupervisor:
         #: when the shard settles -- with ``release_all`` as the backstop
         #: on every exit path of :meth:`run`.
         self.segments = segments
+        self._mp = (
+            multiprocessing.get_context(self.policy.start_method)
+            if self.policy.start_method
+            else multiprocessing
+        )
         self._queue: List[_Pending] = []
         self._running: List[_Running] = []
         self._outcome = SupervisorOutcome()
@@ -300,8 +351,8 @@ class ShardSupervisor:
                 return
             pending = self._queue.pop(index)
             pending.task = self._prepare_task(pending.task)
-            parent_conn, child_conn = multiprocessing.Pipe(duplex=False)
-            process = multiprocessing.Process(
+            parent_conn, child_conn = self._mp.Pipe(duplex=False)
+            process = self._mp.Process(
                 target=_child_main,
                 args=(self.runner, pending.task, child_conn),
                 daemon=True,
@@ -462,7 +513,9 @@ class ShardSupervisor:
             )
         if pending.attempts < self.policy.attempts_for(pending.phase):
             self._outcome.bump("worker_retries")
-            pending.ready_at = time.monotonic() + self.policy.backoff_for(pending.attempts)
+            pending.ready_at = time.monotonic() + self.policy.backoff_for(
+                pending.attempts, salt=_shard_salt(task)
+            )
             self._queue.append(pending)
             return
         self._exhausted(pending, kind, detail)

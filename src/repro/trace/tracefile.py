@@ -505,6 +505,254 @@ class TraceAudit:
         return self.file_error is None and not self.bad_chunks
 
 
+def repair_trace(path: Union[str, os.PathLike]) -> "TraceRepair":
+    """Recover a partial or damaged trace by truncating to its valid prefix.
+
+    The repair keeps the longest prefix of chunks that pass CRC *and* a
+    full codec decode, rewrites the chunk index and totals footer to
+    describe exactly that prefix, and replaces the file atomically
+    (temp file + ``os.replace``), so a crash mid-repair can never leave a
+    half-written trace behind.  Three damage shapes are handled:
+
+    * **damaged chunk** -- the index is intact but a chunk fails its CRC or
+      decode: every chunk before the first damaged one is kept;
+    * **mid-footer truncation** -- the file ends inside the index: the
+      surviving index entries validate their chunks, and (for compressed
+      traces) the remaining chunk payloads are re-discovered by walking
+      the self-terminating zlib streams;
+    * **mid-chunk truncation** -- the file ends inside the chunk data and
+      the index is gone entirely: compressed traces are re-indexed by the
+      same zlib-stream walk; uncompressed traces have no discoverable
+      chunk boundaries and are unrecoverable.
+
+    Returns a :class:`TraceRepair`; ``action`` is ``"intact"`` when the
+    file already verifies (nothing written), ``"repaired"`` when a valid
+    prefix was rewritten, and ``"unrecoverable"`` when not even one chunk
+    survives.  The rewritten file is always version-:data:`_VERSION` (v1
+    inputs gain per-chunk CRCs).
+    """
+    path = os.fspath(path)
+    repair = TraceRepair(path=path)
+    audit = verify_trace(path)
+    if audit.ok:
+        repair.action = "intact"
+        repair.kept_chunks = len(audit.chunks)
+        repair.kept_records = audit.stats.records if audit.stats else 0
+        repair.lost_chunks = 0
+        repair.lost_records = 0
+        return repair
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except OSError as exc:
+        repair.detail = f"unreadable: {exc}"
+        return repair
+    if len(blob) < _HEADER.size:
+        repair.detail = "file shorter than the trace header"
+        return repair
+    magic, version, flags, chunk_bytes, index_offset = _HEADER.unpack_from(blob)
+    if magic != _MAGIC:
+        repair.detail = f"bad magic {magic!r}"
+        return repair
+    if not _MIN_VERSION <= version <= _VERSION:
+        repair.detail = f"unsupported trace version {version}"
+        return repair
+    compressed = bool(flags & _FLAG_ZLIB)
+    # Chunk payloads live between the header and wherever the index starts
+    # (or the end of what survives of the file, when the index is gone).
+    data_limit = index_offset if _HEADER.size <= index_offset <= len(blob) else len(blob)
+
+    kept: List[Tuple[bytes, int, int]] = []  # (stored, raw_len, records)
+    entries_truncated = True
+    scan_from = _HEADER.size
+    if index_offset and index_offset + _INDEX_HEADER.size <= len(blob):
+        index_magic, num_chunks = _INDEX_HEADER.unpack_from(blob, index_offset)
+        if index_magic == _INDEX_MAGIC:
+            entry_struct = _INDEX_ENTRY if version >= 2 else _INDEX_ENTRY_V1
+            position = index_offset + _INDEX_HEADER.size
+            parsed = []
+            for _ in range(num_chunks):
+                if position + entry_struct.size > len(blob):
+                    break
+                parsed.append(entry_struct.unpack_from(blob, position))
+                position += entry_struct.size
+            # A fully-present entry list means any damage is in the chunks
+            # (or the totals): scanning past a CRC-failing chunk would
+            # resurrect bytes the checksum already condemned, so the scan
+            # below only continues where entries were *lost*, not refuted.
+            entries_truncated = len(parsed) < num_chunks
+            for fields in parsed:
+                offset, stored_len, raw_len, records = fields[:4]
+                crc = fields[4] if version >= 2 else None
+                if offset != scan_from or offset + stored_len > data_limit:
+                    entries_truncated = False
+                    break
+                stored = blob[offset:offset + stored_len]
+                if not _chunk_valid(stored, raw_len, records, crc, compressed):
+                    entries_truncated = False
+                    break
+                kept.append((stored, raw_len, records))
+                scan_from = offset + stored_len
+    if entries_truncated and compressed:
+        kept.extend(_scan_zlib_chunks(blob, scan_from, data_limit))
+    if not kept:
+        if not compressed and entries_truncated:
+            repair.detail = (
+                "index unusable and the trace is uncompressed: chunk "
+                "boundaries cannot be re-discovered"
+            )
+        else:
+            repair.detail = "no intact chunk prefix survives"
+        return repair
+
+    repair.action = "repaired"
+    repair.kept_chunks = len(kept)
+    repair.kept_records = sum(records for _stored, _raw, records in kept)
+    if audit.stats is not None:
+        # The original footer was readable: the loss is exactly known.
+        repair.lost_chunks = audit.stats.chunks - repair.kept_chunks
+        repair.lost_records = audit.stats.records - repair.kept_records
+    _rewrite_trace(path, chunk_bytes, compressed, kept)
+    return repair
+
+
+def _chunk_valid(
+    stored: bytes, raw_len: int, records: int, crc: Optional[int], compressed: bool
+) -> bool:
+    """True when a stored chunk passes CRC, size and full-decode checks."""
+    if crc is not None and zlib.crc32(stored) & 0xFFFFFFFF != crc:
+        return False
+    if compressed:
+        try:
+            raw = zlib.decompress(stored)
+        except zlib.error:
+            return False
+    else:
+        raw = stored
+    if len(raw) != raw_len:
+        return False
+    try:
+        decoded = decode_records(raw, expected_count=records)
+    except TraceCodecError:
+        return False
+    return len(decoded) == records
+
+
+def _scan_zlib_chunks(
+    blob: bytes, start: int, limit: int
+) -> List[Tuple[bytes, int, int]]:
+    """Re-discover chunk boundaries by walking self-terminating zlib streams.
+
+    Every compressed chunk is one complete zlib stream, so a lost index can
+    be rebuilt by decompressing stream after stream: each stream's consumed
+    length is its stored size, and a full codec decode of the payload both
+    validates the chunk and recounts its records.  Stops at the first
+    incomplete or undecodable stream (the truncation/damage point).
+    """
+    found: List[Tuple[bytes, int, int]] = []
+    offset = start
+    while offset < limit:
+        decompressor = zlib.decompressobj()
+        try:
+            raw = decompressor.decompress(blob[offset:limit])
+        except zlib.error:
+            break
+        if not decompressor.eof:
+            break  # stream ran past the end of the surviving bytes
+        consumed = (limit - offset) - len(decompressor.unused_data)
+        try:
+            records = len(decode_records(raw))
+        except TraceCodecError:
+            break
+        if not records:
+            break
+        found.append((blob[offset:offset + consumed], len(raw), records))
+        offset += consumed
+    return found
+
+
+def _rewrite_trace(
+    path: str, chunk_bytes: int, compressed: bool, kept: List[Tuple[bytes, int, int]]
+) -> None:
+    """Atomically rewrite ``path`` as a valid trace holding ``kept`` chunks."""
+    tmp_path = path + ".repair"
+    flags = _FLAG_ZLIB if compressed else 0
+    instructions = 0
+    annotations = 0
+    with open(tmp_path, "wb") as out:
+        out.write(_HEADER.pack(_MAGIC, _VERSION, flags, chunk_bytes, 0))
+        infos: List[ChunkInfo] = []
+        for stored, raw_len, records in kept:
+            offset = out.tell()
+            out.write(stored)
+            infos.append(ChunkInfo(
+                index=len(infos), offset=offset, stored_len=len(stored),
+                raw_len=raw_len, records=records,
+                crc=zlib.crc32(stored) & 0xFFFFFFFF,
+            ))
+            raw = zlib.decompress(stored) if compressed else stored
+            for record in decode_records(raw, expected_count=records):
+                if isinstance(record, AnnotationRecord):
+                    annotations += 1
+                else:
+                    instructions += 1
+        index_offset = out.tell()
+        out.write(_INDEX_HEADER.pack(_INDEX_MAGIC, len(infos)))
+        for info in infos:
+            out.write(_INDEX_ENTRY.pack(
+                info.offset, info.stored_len, info.raw_len, info.records, info.crc
+            ))
+        out.write(_INDEX_TOTALS.pack(
+            instructions + annotations,
+            instructions,
+            annotations,
+            sum(info.raw_len for info in infos),
+        ))
+        out.seek(0)
+        out.write(_HEADER.pack(_MAGIC, _VERSION, flags, chunk_bytes, index_offset))
+        out.flush()
+        os.fsync(out.fileno())
+    os.replace(tmp_path, path)
+
+
+@dataclass
+class TraceRepair:
+    """Outcome of :func:`repair_trace`."""
+
+    path: str
+    #: ``"intact"`` (already valid, nothing written), ``"repaired"``
+    #: (valid prefix rewritten in place) or ``"unrecoverable"``.
+    action: str = "unrecoverable"
+    detail: str = ""
+    kept_chunks: int = 0
+    kept_records: int = 0
+    #: Chunks/records lost to the repair; ``None`` when the original footer
+    #: was itself lost, making the original population unknowable.
+    lost_chunks: Optional[int] = None
+    lost_records: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        """True unless the trace was unrecoverable."""
+        return self.action != "unrecoverable"
+
+    @property
+    def changed(self) -> bool:
+        """True when the file on disk was rewritten."""
+        return self.action == "repaired"
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "action": self.action,
+            "detail": self.detail,
+            "kept_chunks": self.kept_chunks,
+            "kept_records": self.kept_records,
+            "lost_chunks": self.lost_chunks,
+            "lost_records": self.lost_records,
+        }
+
+
 def verify_trace(path: Union[str, os.PathLike], decode: bool = True) -> TraceAudit:
     """Audit a trace file: header, index, totals, per-chunk CRCs and decode.
 

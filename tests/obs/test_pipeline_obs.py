@@ -9,6 +9,8 @@ from repro.obs import (
     MetricsRegistry,
     REQUIRED_ACCELERATOR_COUNTERS,
     REQUIRED_REPLAY_COUNTERS,
+    REQUIRED_SERVICE_COUNTERS,
+    collect_service,
     observed,
     prometheus_text,
     snapshot_document,
@@ -212,3 +214,54 @@ def test_validate_snapshot_flags_problems():
 
     document["histograms"]["h"] = {"bounds": [1], "counts": [1], "sum": 0, "count": 1}
     assert any("length mismatch" in problem for problem in validate_snapshot(document))
+
+
+# ------------------------------------------------------------ service counters
+
+
+def _full_counters(document):
+    for name in REQUIRED_ACCELERATOR_COUNTERS + REQUIRED_REPLAY_COUNTERS:
+        document["counters"].setdefault(name, 0)
+    return document
+
+
+def test_collect_service_emits_deltas_against_watermark():
+    registry = MetricsRegistry()
+    watermark = {}
+    counters = {"sessions_settled": 3, "bytes_received": 100}
+    collect_service(registry, counters, last=watermark)
+    snapshot = registry.snapshot()
+    assert snapshot["counters"]["service.sessions_settled"] == 3
+    assert snapshot["counters"]["service.bytes_received"] == 100
+
+    # Second flush with partially-advanced counters: only the delta lands.
+    counters = {"sessions_settled": 5, "bytes_received": 100}
+    collect_service(registry, counters, last=watermark)
+    snapshot = registry.snapshot()
+    assert snapshot["counters"]["service.sessions_settled"] == 5
+    assert snapshot["counters"]["service.bytes_received"] == 100
+    assert watermark == {"sessions_settled": 5, "bytes_received": 100}
+
+
+def test_collect_service_zero_fills_required_names():
+    # Even before the first session arrives, a service snapshot must carry
+    # every required counter so probes can rely on the schema.
+    registry = MetricsRegistry()
+    collect_service(registry, {})
+    names = set(registry.snapshot()["counters"])
+    assert set(REQUIRED_SERVICE_COUNTERS) <= names
+
+
+def test_validate_snapshot_gates_service_counters_on_source():
+    registry = MetricsRegistry()
+    plain = _full_counters(snapshot_document(registry, meta={"source": "replay"}))
+    assert validate_snapshot(plain) == []
+
+    service = _full_counters(snapshot_document(registry, meta={"source": "service"}))
+    problems = validate_snapshot(service)
+    assert len(problems) == len(REQUIRED_SERVICE_COUNTERS)
+    assert all("service counter" in problem for problem in problems)
+
+    collect_service(registry, {})
+    fixed = _full_counters(snapshot_document(registry, meta={"source": "service"}))
+    assert validate_snapshot(fixed) == []

@@ -1,0 +1,156 @@
+"""Property tests for the gateway session state machine.
+
+Hypothesis drives :class:`SessionMachine` with arbitrary interleavings of
+upload, cancel, worker-failure and shutdown events and checks the two
+invariants the whole service leans on:
+
+* every interleaving ends in **exactly one** disposition -- open, one
+  terminal state, or checkpointed -- and once closed every further event
+  is a rejected no-op;
+* the release hooks (standing in for the bounded ingest queue and store
+  handles) fire **exactly once**, exactly when the machine closes, even
+  when a hook itself raises.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.session import (
+    SESSION_EVENTS,
+    TERMINAL_STATES,
+    SessionMachine,
+    SessionState,
+    replay_history,
+)
+
+events = st.lists(st.sampled_from(SESSION_EVENTS), max_size=30)
+
+#: The only legal transition edges; anything else is a machine bug.
+LEGAL_EDGES = {
+    (SessionState.ACCEPTING, SessionState.REPLAYING),
+    (SessionState.REPLAYING, SessionState.REPORTING),
+    (SessionState.REPORTING, SessionState.SETTLED),
+    (SessionState.ACCEPTING, SessionState.FAILED),
+    (SessionState.REPLAYING, SessionState.FAILED),
+    (SessionState.REPORTING, SessionState.FAILED),
+}
+
+
+def _machine(hook_calls):
+    machine = SessionMachine("s-prop")
+    machine.add_release_hook(lambda: hook_calls.append(machine.state))
+    return machine
+
+
+class TestInterleavings:
+    @given(history=events)
+    @settings(max_examples=300, deadline=None)
+    def test_exactly_one_disposition_and_one_release(self, history):
+        hook_calls = []
+        machine = _machine(hook_calls)
+        trail = [machine.state]
+        for event in history:
+            machine.apply(event)
+            trail.append(machine.state)
+
+        # Transitions only ever walk legal edges, and at most one step
+        # ever enters a terminal state.
+        steps = [(a, b) for a, b in zip(trail, trail[1:]) if a is not b]
+        assert all(edge in LEGAL_EDGES for edge in steps)
+        assert sum(1 for _, b in steps if b in TERMINAL_STATES) <= 1
+
+        # Exactly one disposition, and release fires iff the machine closed.
+        assert machine.closed == (machine.terminal or machine.checkpointed)
+        assert machine.released == machine.closed
+        assert len(hook_calls) == (1 if machine.closed else 0)
+        assert machine.release_errors == []
+
+    @given(history=events)
+    @settings(max_examples=300, deadline=None)
+    def test_closed_machines_reject_everything(self, history):
+        machine = replay_history(SessionMachine("s-prop"), tuple(history))
+        if not machine.closed:
+            machine.apply("fail", "forced terminal")
+        frozen = (machine.state, machine.checkpointed, machine.worker_failures)
+        for event in SESSION_EVENTS:
+            assert machine.apply(event) is False
+        assert (machine.state, machine.checkpointed, machine.worker_failures) == frozen
+
+    @given(history=events)
+    @settings(max_examples=300, deadline=None)
+    def test_release_is_exactly_once_even_when_forced_closed(self, history):
+        hook_calls = []
+        machine = _machine(hook_calls)
+        replay_history(machine, tuple(history))
+        machine.apply("shutdown")
+        machine.apply("fail")
+        assert len(hook_calls) == 1
+
+    @given(history=events)
+    @settings(max_examples=200, deadline=None)
+    def test_worker_failures_only_counted_while_replaying(self, history):
+        machine = SessionMachine("s-prop")
+        expected = 0
+        for event in history:
+            if (
+                event == "worker_fail"
+                and not machine.closed
+                and machine.state is SessionState.REPLAYING
+            ):
+                expected += 1
+            machine.apply(event)
+        assert machine.worker_failures == expected
+
+
+class TestMachineEdges:
+    def test_unknown_event_is_a_programming_error(self):
+        with pytest.raises(ValueError, match="unknown session event"):
+            SessionMachine("s-1").apply("launch_missiles")
+
+    def test_invalid_events_are_counted_not_raised(self):
+        machine = SessionMachine("s-1")
+        assert machine.apply("replay_ok") is False
+        assert machine.apply("report_ok") is False
+        assert machine.rejected_events == 2
+        assert machine.state is SessionState.ACCEPTING
+
+    def test_happy_path(self):
+        machine = SessionMachine("s-1")
+        for event in ("chunk", "chunk", "commit", "replay_ok", "report_ok"):
+            assert machine.apply(event) is True
+        assert machine.state is SessionState.SETTLED
+
+    def test_hook_added_after_close_fires_immediately(self):
+        machine = SessionMachine("s-1")
+        machine.apply("cancel")
+        fired = []
+        machine.add_release_hook(lambda: fired.append(True))
+        assert fired == [True]
+
+    def test_hook_exception_recorded_not_raised(self):
+        def boom():
+            raise RuntimeError("queue already torn down")
+
+        machine = SessionMachine("s-1", release_hooks=[boom])
+        machine.apply("fail", "disk full")
+        assert machine.state is SessionState.FAILED
+        assert machine.reason == "disk full"
+        assert machine.release_errors == ["RuntimeError: queue already torn down"]
+
+    def test_rehydrated_terminal_releases_at_construction(self):
+        fired = []
+        SessionMachine(
+            "s-1",
+            state=SessionState.SETTLED,
+            release_hooks=[lambda: fired.append(True)],
+        )
+        assert fired == [True]
+
+    def test_shutdown_checkpoints_without_deciding_outcome(self):
+        machine = SessionMachine("s-1")
+        machine.apply("commit")
+        assert machine.apply("shutdown", "drain") is True
+        assert machine.state is SessionState.REPLAYING  # persisted state survives
+        assert machine.checkpointed and machine.released
+        assert not machine.terminal

@@ -1,0 +1,92 @@
+"""Seeded jitter in the supervisor's exponential backoff schedule.
+
+The jitter must be fully deterministic under a fixed ``jitter_seed``:
+``(seed, salt, attempt)`` alone decide every delay, so retry schedules
+reproduce run after run while still spreading simultaneously-failing
+shards apart.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.trace.supervisor import SupervisorPolicy, _shard_salt
+
+
+def _policy(**overrides):
+    defaults = dict(
+        backoff_seconds=0.1,
+        backoff_multiplier=2.0,
+        backoff_jitter=0.25,
+        jitter_seed=42,
+    )
+    defaults.update(overrides)
+    return SupervisorPolicy(**defaults)
+
+
+class TestBackoffSchedule:
+    def test_no_jitter_is_pure_exponential(self):
+        policy = _policy(backoff_jitter=0.0)
+        assert [policy.backoff_for(a) for a in (1, 2, 3, 4)] == pytest.approx(
+            [0.1, 0.2, 0.4, 0.8]
+        )
+
+    def test_same_seed_same_salt_same_schedule(self):
+        first = [_policy().backoff_for(a, salt=7) for a in range(1, 6)]
+        second = [_policy().backoff_for(a, salt=7) for a in range(1, 6)]
+        assert first == second
+
+    def test_delay_stays_within_jitter_band(self):
+        policy = _policy()
+        for attempt in range(1, 8):
+            base = 0.1 * 2.0 ** (attempt - 1)
+            for salt in range(32):
+                delay = policy.backoff_for(attempt, salt=salt)
+                assert base * 0.75 <= delay <= base * 1.25
+
+    def test_distinct_salts_decorrelate_shards(self):
+        policy = _policy()
+        delays = {policy.backoff_for(3, salt=salt) for salt in range(16)}
+        # Shards failing at the same attempt must not retry in lockstep.
+        assert len(delays) > 12
+
+    def test_distinct_seeds_give_distinct_schedules(self):
+        a = [_policy(jitter_seed=1).backoff_for(n, salt=5) for n in range(1, 6)]
+        b = [_policy(jitter_seed=2).backoff_for(n, salt=5) for n in range(1, 6)]
+        assert a != b
+
+    def test_attempt_number_reseeds_the_draw(self):
+        # Consecutive attempts of one shard draw independent jitter, not a
+        # shared stream whose alignment would depend on call order.
+        policy = _policy(backoff_multiplier=1.0)
+        delays = {policy.backoff_for(n, salt=9) for n in range(1, 9)}
+        assert len(delays) > 5
+
+    def test_invalid_jitter_rejected(self):
+        with pytest.raises(ValueError, match="backoff_jitter"):
+            _policy(backoff_jitter=1.5).backoff_for(1)
+        with pytest.raises(ValueError, match="backoff_jitter"):
+            _policy(backoff_jitter=-0.1).backoff_for(1)
+
+    def test_never_negative(self):
+        policy = _policy(backoff_seconds=0.0)
+        assert policy.backoff_for(5, salt=3) == 0.0
+
+
+class TestShardSalt:
+    @dataclasses.dataclass
+    class Task:
+        trace_path: str
+        chunks: tuple
+
+    def test_salt_is_stable_identity_hash(self):
+        task = self.Task("/tmp/a.lbatrace", (4, 5, 6))
+        again = self.Task("/tmp/a.lbatrace", (4, 5, 6))
+        assert _shard_salt(task) == _shard_salt(again)
+
+    def test_different_shards_different_salts(self):
+        base = self.Task("/tmp/a.lbatrace", (0, 1, 2))
+        other_chunks = self.Task("/tmp/a.lbatrace", (3, 4, 5))
+        other_trace = self.Task("/tmp/b.lbatrace", (0, 1, 2))
+        salts = {_shard_salt(t) for t in (base, other_chunks, other_trace)}
+        assert len(salts) == 3
