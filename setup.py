@@ -1,5 +1,19 @@
-"""Setup shim for environments without PEP 660 editable-install support."""
+"""Setup shim for environments without PEP 660 editable-install support.
 
-from setuptools import setup
+The package has no hard third-party dependencies.  The optional ``fast``
+extra pulls in numpy, which enables the vectorized kernel tier of the
+columnar dispatch engine (``repro.lba.kernels``); without it every path
+runs bit-identically on the pure-Python implementations.
+"""
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-lba",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    extras_require={
+        "fast": ["numpy"],
+    },
+)

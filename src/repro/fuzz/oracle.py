@@ -6,9 +6,12 @@ it through every consumption path of the platform and asserts agreement:
 * **record legs** (no cache hierarchy, directly comparable bit for bit):
   the per-record ``consume`` loop (the reference), ``consume_batch``,
   ``consume_each`` (whose per-record cycle list must equal the reference's),
-  the run-grouped :class:`~repro.lba.columnar.ColumnarEngine`, and offline
-  replay of a trace-file round-trip (codec encode -> chunked file ->
-  column decode -> columnar dispatch).  Equality covers error reports,
+  the run-grouped :class:`~repro.lba.columnar.ColumnarEngine` (scalar
+  paths pinned via ``kernels=False``), the same engine with the vectorized
+  NumPy kernel tier enabled (the ``numpy`` leg -- scalar-identical on
+  numpy-less hosts), and offline replay of a trace-file round-trip
+  (codec encode -> chunked file -> column decode -> columnar dispatch).
+  Equality covers error reports,
   :class:`DispatchStats`, :class:`AcceleratorStats`, total and per-record
   lifeguard cycles, mapper counters and -- for the in-process legs -- the
   *internal* accelerator state via
@@ -58,12 +61,16 @@ from repro.workloads.generator import (
     manifest_for,
 )
 
-#: Engine legs the oracle knows, in execution order.
+#: Engine legs the oracle knows, in execution order.  ``columnar`` pins the
+#: engine to its scalar paths; ``numpy`` runs the same engine with the
+#: vectorized kernel tier enabled (on numpy-less hosts the tier is absent
+#: and the leg degenerates to a second scalar run, still checked).
 DEFAULT_ENGINES = (
     "consume",
     "consume_batch",
     "consume_each",
     "columnar",
+    "numpy",
     "trace_replay",
     "live",
     "multicore",
@@ -195,7 +202,16 @@ def _run_consume_each(records, lifeguard_cls) -> _RecordLegOutcome:
 def _run_columnar(records, lifeguard_cls) -> _RecordLegOutcome:
     lifeguard = lifeguard_cls()
     accelerator, dispatcher = build_pipeline(lifeguard)
-    cycles = ColumnarEngine(dispatcher).consume_columns(RecordColumns.from_records(records))
+    engine = ColumnarEngine(dispatcher, kernels=False)
+    cycles = engine.consume_columns(RecordColumns.from_records(records))
+    return _finish(lifeguard, accelerator, dispatcher, cycles)
+
+
+def _run_numpy(records, lifeguard_cls) -> _RecordLegOutcome:
+    lifeguard = lifeguard_cls()
+    accelerator, dispatcher = build_pipeline(lifeguard)
+    engine = ColumnarEngine(dispatcher)
+    cycles = engine.consume_columns(RecordColumns.from_records(records))
     return _finish(lifeguard, accelerator, dispatcher, cycles)
 
 
@@ -203,6 +219,7 @@ _RECORD_LEGS = {
     "consume_batch": _run_consume_batch,
     "consume_each": _run_consume_each,
     "columnar": _run_columnar,
+    "numpy": _run_numpy,
 }
 
 

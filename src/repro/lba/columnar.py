@@ -109,10 +109,26 @@ _FAST_SLOTS = (
 class ColumnarEngine:
     """Run-grouped columnar consumer wrapped around an :class:`EventDispatcher`."""
 
-    def __init__(self, dispatcher: EventDispatcher) -> None:
+    def __init__(self, dispatcher: EventDispatcher, kernels=None) -> None:
         self.dispatcher = dispatcher
         self.accelerator = dispatcher.accelerator
         self.lifeguard = dispatcher.lifeguard
+        #: runs consumed by a numpy kernel / runs a kernel declined (read,
+        #: never hooked, by end-of-replay telemetry collection)
+        self.kernel_runs = 0
+        self.kernel_fallbacks = 0
+        #: optional numpy kernel tier: ``None`` disables it (also pass
+        #: ``kernels=False`` explicitly); by default the tier is built from
+        #: the lifeguard's ``columnar_kernels()`` capabilities and is
+        #: ``None`` on numpy-less hosts, keeping today's scalar paths.
+        if kernels is None:
+            from repro.lba.kernels import build_tier
+
+            self._kernel_tier = build_tier(self.lifeguard)
+        elif kernels is False:
+            self._kernel_tier = None
+        else:
+            self._kernel_tier = kernels
         #: vectorized steps need usage-count cycle charging only; a cache
         #: hierarchy needs the actual metadata addresses per event, so the
         #: engine falls back to the batched scalar path then.
@@ -228,6 +244,9 @@ class ColumnarEngine:
                     _ORD_DEST_REG_OP_MEM, _ORD_DEST_MEM_OP_REG, _ORD_OTHER,
                 ):
                     steps[ordinal] = self._step_prop_no_it
+        tier = self._kernel_tier
+        if tier is not None:
+            tier.install(self, steps)
         self._steps = steps
 
     # ------------------------------------------------------------------ main entry
